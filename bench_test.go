@@ -1,0 +1,294 @@
+// Top-level benchmarks: one per table/figure of the paper's evaluation,
+// plus ablations for the design choices DESIGN.md calls out. Each bench
+// regenerates its artifact end to end, so `go test -bench . -benchmem`
+// doubles as the reproduction driver; per-figure data lands in
+// EXPERIMENTS.md via cmd/figures.
+package main
+
+import (
+	"testing"
+
+	"angstrom/internal/actuator"
+	"angstrom/internal/angstrom"
+	"angstrom/internal/cache"
+	"angstrom/internal/core"
+	"angstrom/internal/experiment"
+	"angstrom/internal/heartbeat"
+	"angstrom/internal/noc"
+	"angstrom/internal/sim"
+	"angstrom/internal/workload"
+	"angstrom/internal/xeon"
+)
+
+// BenchmarkFigure2 regenerates Figure 2: the barnes cores × cache sweep
+// on the trace-driven simulator, with Pareto frontier and closed-system
+// choices.
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig2(experiment.Fig2Options{Accesses: 30000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cacheOff, coreOff := res.OffFrontier()
+		if len(cacheOff) == 0 && len(coreOff) == 0 {
+			b.Fatal("closed systems landed on the frontier")
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: five benchmarks × five systems
+// on the Linux/x86 server model (shortened runs; cmd/figures runs the
+// full length).
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig3(experiment.Fig3Options{DurationS: 30, WarmupS: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 5 {
+			b.Fatal("missing benchmarks")
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: the 256-core Angstrom sweep and
+// projection (and the §5.3 in-text numbers).
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunFig4(1.15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.NoAdaptCfg.Cores != 64 {
+			b.Fatalf("non-adaptive config drifted to %d cores", res.NoAdaptCfg.Cores)
+		}
+	}
+}
+
+// BenchmarkSEECLoop measures one observe-decide iteration of the SEEC
+// runtime — the recurring cost the partner cores exist to absorb (§4.3).
+func BenchmarkSEECLoop(b *testing.B) {
+	clock := sim.NewClock(0)
+	p := xeon.DefaultParams()
+	srv, err := xeon.NewServer(p, xeon.Config{Cores: 1, PState: 0, Duty: 10}, clock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := workload.ByName("barnes")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon := heartbeat.New(clock, heartbeat.WithEnergyMeter(srv.Meter))
+	srv.Attach(workload.NewInstance(spec, 1), mon)
+	mon.SetPerformanceGoal(1000, 1100)
+	acts, err := srv.Actuators()
+	if err != nil {
+		b.Fatal(err)
+	}
+	space, err := actuator.NewSpace(acts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := core.New("bench", clock, mon, space, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.RunInterval(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUncoordinated is ablation A1: the per-knob multi-runtime
+// baseline's decision cost (it runs one full runtime per actuator).
+func BenchmarkUncoordinated(b *testing.B) {
+	clock := sim.NewClock(0)
+	p := xeon.DefaultParams()
+	srv, err := xeon.NewServer(p, xeon.Config{Cores: 1, PState: 0, Duty: 10}, clock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := workload.ByName("water")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon := heartbeat.New(clock, heartbeat.WithEnergyMeter(srv.Meter))
+	srv.Attach(workload.NewInstance(spec, 1), mon)
+	mon.SetPerformanceGoal(1000, 1100)
+	acts, err := srv.Actuators()
+	if err != nil {
+		b.Fatal(err)
+	}
+	space, err := actuator.NewSpace(acts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := core.NewUncoordinated("bench", clock, mon, space, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.RunInterval(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := u.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartnerCore is ablation A2: decision workload on the partner
+// core vs the main core (§4.3's 10%-power claim).
+func BenchmarkPartnerCore(b *testing.B) {
+	var cf angstrom.CounterFile
+	q, err := angstrom.NewEventQueue(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc, err := angstrom.NewPartnerCore(angstrom.VFPoints()[1], angstrom.DefaultCoreEnergy(), &cf, q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("partner", func(b *testing.B) {
+		j := 0.0
+		for i := 0; i < b.N; i++ {
+			j += pc.RunDecision(50_000).Joules
+		}
+		_ = j
+	})
+	b.Run("main", func(b *testing.B) {
+		j := 0.0
+		for i := 0; i < b.N; i++ {
+			j += pc.RunDecisionOnMain(50_000).Joules
+		}
+		_ = j
+	})
+}
+
+// BenchmarkNoCAdaptations is ablation A3: mesh latency evaluation with
+// each §4.2.2 feature toggled.
+func BenchmarkNoCAdaptations(b *testing.B) {
+	run := func(b *testing.B, evc, ban, aor bool) {
+		cfg := noc.DefaultConfig(16, 16)
+		cfg.EVC, cfg.BAN = evc, ban
+		m, err := noc.NewMesh(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 1; i < 15; i++ {
+			if err := m.SetFlow(i, 255-i, 0.1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if aor {
+			m.OptimizeAOR()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if m.AvgFlowLatency() <= 0 {
+				b.Fatal("no latency")
+			}
+		}
+	}
+	b.Run("baseline", func(b *testing.B) { run(b, false, false, false) })
+	b.Run("evc", func(b *testing.B) { run(b, true, false, false) })
+	b.Run("evc+ban", func(b *testing.B) { run(b, true, true, false) })
+	b.Run("evc+ban+aor", func(b *testing.B) { run(b, true, true, true) })
+}
+
+// BenchmarkCoherenceProtocols is ablation A4: per-access cost of the
+// three coherence protocols on a mixed sharing pattern.
+func BenchmarkCoherenceProtocols(b *testing.B) {
+	const tiles = 16
+	newCaches := func() []*cache.Cache {
+		out := make([]*cache.Cache, tiles)
+		for i := range out {
+			c, err := cache.New(64, 8, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out[i] = c
+		}
+		return out
+	}
+	nm, err := noc.NewMesh(noc.DefaultConfig(4, 4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	adapter := meshAdapter{nm}
+	run := func(b *testing.B, p cache.Protocol) {
+		rng := sim.NewRNG(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core := rng.Intn(tiles)
+			var line uint64
+			if i%2 == 0 {
+				line = uint64(rng.Intn(4096)) // shared
+			} else {
+				line = uint64(core*100000 + rng.Intn(256)) // private
+			}
+			p.Access(core, line, rng.Float64() < 0.3)
+		}
+	}
+	dir, err := cache.NewDirectory(newCaches(), adapter, 2, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nuca, err := cache.NewNUCA(newCaches(), adapter, 2, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arcc, err := cache.NewAdaptive(dir, nuca, 4096, 500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("directory", func(b *testing.B) { run(b, dir) })
+	b.Run("nuca", func(b *testing.B) { run(b, nuca) })
+	b.Run("arcc", func(b *testing.B) { run(b, arcc) })
+}
+
+// meshAdapter bridges noc.Mesh to cache.Network for the benches.
+type meshAdapter struct{ m *noc.Mesh }
+
+func (a meshAdapter) LatencyCycles(src, dst int) float64 { return a.m.LatencyCycles(src, dst) }
+func (a meshAdapter) Hops(src, dst int) int              { return a.m.Hops(src, dst) }
+
+// BenchmarkChipEvaluate measures the interval chip model — the inner
+// loop of every Figure-4 sweep.
+func BenchmarkChipEvaluate(b *testing.B) {
+	p := angstrom.DefaultParams()
+	spec, err := workload.ByName("ocean")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := angstrom.Config{Cores: 256, CacheKB: 64, VF: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := angstrom.Evaluate(p, spec, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChipEvaluateDetailed measures the trace-driven mode — the
+// inner loop of Figure 2.
+func BenchmarkChipEvaluateDetailed(b *testing.B) {
+	p := angstrom.DefaultParams()
+	spec, err := workload.ByName("barnes")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := angstrom.Config{Cores: 16, CacheKB: 64, VF: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := angstrom.EvaluateDetailed(p, spec, cfg, 20000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command angstrom-sim sweeps Angstrom chip configurations for one
+// benchmark and prints the performance/power landscape — the raw data
+// behind Figures 2 and 4.
+//
+// Usage:
+//
+//	angstrom-sim -bench barnes
+//	angstrom-sim -bench ocean -detailed -accesses 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"angstrom/internal/angstrom"
+	"angstrom/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("angstrom-sim: ")
+	bench := flag.String("bench", "barnes", "benchmark (barnes, ocean, raytrace, water, volrend)")
+	detailed := flag.Bool("detailed", false, "use the trace-driven simulator instead of the interval model")
+	accesses := flag.Int("accesses", 60000, "trace length per configuration (detailed mode)")
+	maxCores := flag.Int("maxcores", 256, "largest core allocation to sweep")
+	seed := flag.Uint64("seed", 2012, "trace seed (detailed mode)")
+	flag.Parse()
+
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := angstrom.DefaultParams()
+	fmt.Printf("Angstrom sweep: %s (%s mode)\n", spec.Name, map[bool]string{true: "detailed", false: "interval"}[*detailed])
+	fmt.Printf("%6s %8s %4s %12s %10s %8s %8s %8s\n",
+		"cores", "cacheKB", "V/f", "beats/s", "power(W)", "CPI", "miss", "mem-rho")
+	for cores := 1; cores <= *maxCores; cores *= 2 {
+		for _, kb := range []int{16, 32, 64, 128, 256} {
+			for vf := 0; vf < 2; vf++ {
+				cfg := angstrom.Config{Cores: cores, CacheKB: kb, VF: vf}
+				var m angstrom.Metrics
+				if *detailed {
+					m, err = angstrom.EvaluateDetailed(p, spec, cfg, *accesses, *seed)
+				} else {
+					m, err = angstrom.Evaluate(p, spec, cfg)
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%6d %8d %4d %12.1f %10.4f %8.3f %8.4f %8.3f\n",
+					cores, kb, vf, m.HeartRate, m.PowerW, m.CPI, m.MissRate, m.MemRho)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command figures regenerates the paper's evaluation artifacts: Figure 2
+// (closed adaptive systems), Figure 3 (SEEC on Linux/x86), Figure 4
+// (anticipated SEEC on Angstrom), and the §5.3 in-text numbers.
+//
+// Usage:
+//
+//	figures            # all figures (fig3's measured multiplier feeds fig4)
+//	figures -fig 2     # one figure
+//	figures -duration 240 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"angstrom/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	fig := flag.Int("fig", 0, "figure to regenerate (2, 3 or 4; 0 = all)")
+	duration := flag.Float64("duration", 120, "measured seconds per Figure-3 run")
+	seed := flag.Uint64("seed", 2012, "workload noise seed")
+	accesses := flag.Int("accesses", 60000, "trace length per Figure-2 configuration")
+	multiplier := flag.Float64("multiplier", 0, "SEEC/static multiplier for Figure 4 (0 = measure via Figure 3, or 1.15 with -fig 4)")
+	flag.Parse()
+
+	if *fig == 0 || *fig == 2 {
+		f2, err := experiment.RunFig2(experiment.Fig2Options{Accesses: *accesses, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(f2)
+	}
+	mult := *multiplier
+	if *fig == 0 || *fig == 3 {
+		f3, err := experiment.RunFig3(experiment.Fig3Options{DurationS: *duration, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(f3)
+		if mult == 0 {
+			mult = f3.SEECOverStatic
+			fmt.Printf("(Figure 4 will use the measured SEEC/static multiplier %.3f)\n\n", mult)
+		}
+	}
+	if *fig == 0 || *fig == 4 {
+		f4, err := experiment.RunFig4(mult)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(f4)
+	}
+}

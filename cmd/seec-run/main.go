@@ -1,0 +1,118 @@
+// Command seec-run drives the SEEC runtime (or a baseline) on one
+// benchmark on the Linux/x86 server model and prints a per-interval
+// trace: the observe-decide-act loop made visible.
+//
+// Usage:
+//
+//	seec-run -bench barnes -mode seec
+//	seec-run -bench ocean -mode uncoordinated -duration 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"angstrom/internal/actuator"
+	"angstrom/internal/core"
+	"angstrom/internal/heartbeat"
+	"angstrom/internal/sim"
+	"angstrom/internal/workload"
+	"angstrom/internal/xeon"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seec-run: ")
+	bench := flag.String("bench", "barnes", "benchmark name")
+	mode := flag.String("mode", "seec", "seec or uncoordinated")
+	duration := flag.Float64("duration", 60, "simulated seconds")
+	seed := flag.Uint64("seed", 2012, "workload seed")
+	flag.Parse()
+
+	spec, err := workload.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := xeon.DefaultParams()
+	clock := sim.NewClock(0)
+	srv, err := xeon.NewServer(p, xeon.Config{Cores: 1, PState: 0, Duty: p.DutyLevels}, clock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon := heartbeat.New(clock, heartbeat.WithEnergyMeter(srv.Meter), heartbeat.WithWindow(41))
+	srv.Attach(workload.NewInstance(spec, *seed), mon)
+
+	target := p.MaxHeartRate(spec) / 2
+	mon.SetPerformanceGoal(target*0.98, target*1.02)
+	fmt.Printf("%s on the R410 model: target %.1f beats/s (half of max)\n", spec.Name, target)
+
+	acts, err := srv.Actuators()
+	if err != nil {
+		log.Fatal(err)
+	}
+	space, err := actuator.NewSpace(acts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.Options{
+		Pole:    0.4,
+		KalmanQ: (0.03 * target) * (0.03 * target),
+		KalmanR: (0.02 * target) * (0.02 * target),
+	}
+
+	steps := int(*duration)
+	fmt.Printf("%5s %10s %10s %8s %10s %8s\n", "t(s)", "rate", "base-est", "speedup", "power(W)", "cfg")
+	switch *mode {
+	case "seec":
+		rt, err := core.New(spec.Name, clock, mon, space, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < steps; i++ {
+			d, err := rt.Step()
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, sl := range d.Slices(1.0) {
+				if err := space.Apply(sl.Cfg); err != nil {
+					log.Fatal(err)
+				}
+				if _, err := srv.RunInterval(sl.Duration); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if i%5 == 0 {
+				fmt.Printf("%5d %10.1f %10.1f %8.2f %10.1f %v\n",
+					i, d.Observed, d.BaseEstimate, d.TargetSpeedup,
+					srv.Meter.LastSample(), srv.Config())
+			}
+		}
+	case "uncoordinated":
+		u, err := core.NewUncoordinated(spec.Name, clock, mon, space, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < steps; i++ {
+			cfg, ds, err := u.Step()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := space.Apply(cfg); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := srv.RunInterval(1.0); err != nil {
+				log.Fatal(err)
+			}
+			if i%5 == 0 {
+				fmt.Printf("%5d %10.1f %10s %8s %10.1f %v\n",
+					i, ds[0].Observed, "-", "-", srv.Meter.LastSample(), srv.Config())
+			}
+		}
+	default:
+		log.Fatalf("unknown mode %q (want seec or uncoordinated)", *mode)
+	}
+	obs := mon.Observe()
+	fmt.Printf("final: window rate %.1f beats/s (target %.1f), mean power %.1f W\n",
+		obs.WindowRate, target, srv.Meter.EnergyJoules()/clock.Now())
+}

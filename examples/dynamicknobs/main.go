@@ -1,0 +1,109 @@
+// Dynamicknobs: application-level actions (§3.2) — the "changing
+// algorithms" class of adaptation from PetaBricks / Dynamic Knobs [3,16]
+// — combined with hardware knobs under a power cap.
+//
+// A renderer exposes three algorithm variants with increasing speed and
+// distortion. SEEC first meets the frame-rate goal exactly (preferring
+// the exact algorithm); when the operator imposes a power cap, the
+// runtime trades accuracy — within the application's declared bound —
+// to keep the frame rate under the cap.
+//
+// Run: go run ./examples/dynamicknobs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"angstrom/internal/actuator"
+	"angstrom/internal/core"
+	"angstrom/internal/heartbeat"
+	"angstrom/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	clock := sim.NewClock(0)
+	mon := heartbeat.New(clock)
+	mon.SetPerformanceGoal(29, 31)
+	mon.SetAccuracyGoal(2.5) // distortion the user will tolerate
+
+	var coreSetting, algoSetting int
+	cores := &actuator.Actuator{
+		Name: "cores",
+		Settings: []actuator.Setting{
+			{Label: "2", Effect: actuator.Effect{Speedup: 1, PowerX: 1, Distort: 1}},
+			{Label: "4", Effect: actuator.Effect{Speedup: 1.9, PowerX: 2.1, Distort: 1}},
+			{Label: "8", Effect: actuator.Effect{Speedup: 3.4, PowerX: 4.6, Distort: 1}},
+		},
+		Apply: func(i int) error { coreSetting = i; return nil },
+		Scope: actuator.GlobalScope,
+		Axes:  []actuator.Axis{actuator.Performance, actuator.Power},
+	}
+	algo := &actuator.Actuator{
+		Name: "algorithm",
+		Settings: []actuator.Setting{
+			{Label: "exact", Effect: actuator.Effect{Speedup: 1, PowerX: 1, Distort: 1}},
+			{Label: "fast", Effect: actuator.Effect{Speedup: 1.6, PowerX: 1, Distort: 2}},
+			{Label: "sloppy", Effect: actuator.Effect{Speedup: 2.6, PowerX: 1, Distort: 4}},
+		},
+		Apply: func(i int) error { algoSetting = i; return nil },
+		Scope: actuator.ApplicationScope,
+		Axes:  []actuator.Axis{actuator.Performance, actuator.Accuracy},
+	}
+	space, err := actuator.NewSpace(cores, algo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := core.New("renderer", clock, mon, space, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Respect the application's accuracy goal as a hard bound on the
+	// action space.
+	if err := rt.SetDistortionBound(2.5); err != nil {
+		log.Fatal(err)
+	}
+
+	trueSpeedup := func() float64 {
+		return []float64{1, 1.9, 3.4}[coreSetting] * []float64{1, 1.6, 2.6}[algoSetting]
+	}
+	distortion := func() float64 { return []float64{1, 2, 4}[algoSetting] }
+
+	run := func(d core.Decision, period float64) {
+		for _, sl := range d.Slices(period) {
+			if err := space.Apply(sl.Cfg); err != nil {
+				log.Fatal(err)
+			}
+			rate := 10 * trueSpeedup()
+			end := clock.Now() + sl.Duration
+			for clock.Now() < end {
+				clock.Advance(1 / rate)
+				mon.BeatWithAccuracy(distortion() - 1) // 0 = nominal
+			}
+		}
+	}
+
+	fmt.Println("  t   rate  algorithm  cores  predicted-power")
+	for t := 0; t < 30; t++ {
+		if t == 15 {
+			fmt.Println("--- operator imposes a 2.2x power cap (thermal event) ---")
+			if err := rt.SetPowerCap(2.2); err != nil {
+				log.Fatal(err)
+			}
+		}
+		d, err := rt.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		run(d, 1.0)
+		if t%3 == 2 {
+			fmt.Printf("%3d %6.1f %10s %6s %10.2fx\n",
+				t, d.Observed, algo.Settings[algoSetting].Label,
+				cores.Settings[coreSetting].Label, d.PredictedPower)
+		}
+	}
+	fmt.Printf("\nfinal: rate %.1f, algorithm %q, distortion %.1f (bound 2.5), goals met: %v\n",
+		mon.Observe().WindowRate, algo.Settings[algoSetting].Label,
+		mon.Observe().Distortion+1, mon.Check().AllMet())
+}

@@ -1,0 +1,94 @@
+// Quickstart: the smallest complete SEEC loop.
+//
+// An application declares a heart-rate goal through the Application
+// Heartbeats API; two actuators (a "cores" knob and a "clock" knob, here
+// simulated inline) register their settings and effects; the SEEC
+// runtime closes the observe-decide-act loop and holds the goal at
+// minimum predicted power.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"angstrom/internal/actuator"
+	"angstrom/internal/core"
+	"angstrom/internal/heartbeat"
+	"angstrom/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	clock := sim.NewClock(0)
+	mon := heartbeat.New(clock)
+
+	// The application's goal: 28-32 beats/s (think: ~30 fps).
+	mon.SetPerformanceGoal(28, 32)
+
+	// A toy platform: true heart rate = 10 beats/s × speedup(config).
+	var cores, freq = 0, 0 // current settings
+	coreKnob := &actuator.Actuator{
+		Name: "cores",
+		Settings: []actuator.Setting{
+			{Label: "1", Effect: actuator.Effect{Speedup: 1, PowerX: 1, Distort: 1}},
+			{Label: "2", Effect: actuator.Effect{Speedup: 2, PowerX: 2.2, Distort: 1}},
+			{Label: "4", Effect: actuator.Effect{Speedup: 4, PowerX: 5, Distort: 1}},
+		},
+		Apply: func(i int) error { cores = i; return nil },
+		Scope: actuator.GlobalScope,
+		Axes:  []actuator.Axis{actuator.Performance, actuator.Power},
+	}
+	freqKnob := &actuator.Actuator{
+		Name: "clock",
+		Settings: []actuator.Setting{
+			{Label: "slow", Effect: actuator.Effect{Speedup: 1, PowerX: 1, Distort: 1}},
+			{Label: "fast", Effect: actuator.Effect{Speedup: 1.5, PowerX: 1.9, Distort: 1}},
+		},
+		Apply: func(i int) error { freq = i; return nil },
+		Scope: actuator.GlobalScope,
+		Axes:  []actuator.Axis{actuator.Performance, actuator.Power},
+	}
+	space, err := actuator.NewSpace(coreKnob, freqKnob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := core.New("quickstart", clock, mon, space, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	trueSpeedup := func() float64 {
+		s := []float64{1, 2, 4}[cores] * []float64{1, 1.5}[freq]
+		return s
+	}
+
+	fmt.Println("  t   observed  demand   schedule")
+	for step := 0; step < 20; step++ {
+		d, err := rt.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Act: execute the decision's slices over a 1 s period, the
+		// application beating at its true (not declared) rate.
+		for _, sl := range d.Slices(1.0) {
+			if err := space.Apply(sl.Cfg); err != nil {
+				log.Fatal(err)
+			}
+			rate := 10 * trueSpeedup()
+			end := clock.Now() + sl.Duration
+			for clock.Now() < end {
+				clock.Advance(1 / rate)
+				mon.Beat()
+			}
+		}
+		fmt.Printf("%3d %9.2f %8.2f   %.0f%% of [%s %s], rest [%s %s]\n",
+			step, d.Observed, d.TargetSpeedup, d.HiFrac*100,
+			coreKnob.Settings[d.HiCfg[0]].Label, freqKnob.Settings[d.HiCfg[1]].Label,
+			coreKnob.Settings[d.LoCfg[0]].Label, freqKnob.Settings[d.LoCfg[1]].Label)
+	}
+	obs := mon.Observe()
+	status := mon.Check()
+	fmt.Printf("\nfinal window rate %.2f beats/s, goal met: %v\n", obs.WindowRate, status.AllMet())
+}

@@ -1,0 +1,55 @@
+// X86server: one benchmark of the Figure-3 experiment, end to end, with
+// all five §5.2 systems side by side — no adaptation, uncoordinated
+// adaptation, SEEC, the static oracle and the dynamic oracle — printed
+// as the paper's normalized bars.
+//
+// Run: go run ./examples/x86server [-bench raytrace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"angstrom/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	bench := flag.String("bench", "raytrace", "benchmark to run")
+	flag.Parse()
+
+	res, err := experiment.RunFig3(experiment.Fig3Options{DurationS: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Benchmark != *bench {
+			continue
+		}
+		fmt.Printf("%s on the R410 model (perf/Watt, normalized to the dynamic oracle):\n\n", row.Benchmark)
+		bars := []struct {
+			label string
+			v     float64
+		}{
+			{"no adaptation", row.NoAdapt / row.DynamicOracle},
+			{"uncoordinated", row.Uncoordinated / row.DynamicOracle},
+			{"SEEC", row.SEEC / row.DynamicOracle},
+			{"static oracle", row.StaticOracle / row.DynamicOracle},
+			{"dynamic oracle", 1.0},
+		}
+		for _, b := range bars {
+			n := int(b.v * 40)
+			if n < 0 {
+				n = 0
+			}
+			bar := make([]byte, n)
+			for i := range bar {
+				bar[i] = '#'
+			}
+			fmt.Printf("%-15s %5.3f %s\n", b.label, b.v, bar)
+		}
+		return
+	}
+	log.Fatalf("unknown benchmark %q", *bench)
+}

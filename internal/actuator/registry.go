@@ -1,0 +1,103 @@
+package actuator
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is the system-wide directory of registered actuators. Hardware
+// (the Angstrom model), system software (core allocator, clock governor)
+// and applications all register here; the SEEC runtime composes the
+// registered actions it is allowed to use into a Space.
+type Registry struct {
+	mu   sync.Mutex
+	acts map[string]*registered
+}
+
+type registered struct {
+	act *Actuator
+	app string // owning application for ApplicationScope; "" for global
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{acts: make(map[string]*registered)}
+}
+
+// RegisterGlobal adds a global-scope actuator.
+func (r *Registry) RegisterGlobal(a *Actuator) error {
+	return r.register(a, "", GlobalScope)
+}
+
+// RegisterForApp adds an application-scope actuator owned by app.
+func (r *Registry) RegisterForApp(app string, a *Actuator) error {
+	if app == "" {
+		return fmt.Errorf("actuator: empty app name for application-scope registration")
+	}
+	return r.register(a, app, ApplicationScope)
+}
+
+func (r *Registry) register(a *Actuator, app string, scope Scope) error {
+	if a == nil {
+		return fmt.Errorf("actuator: register nil actuator")
+	}
+	if a.Scope != scope {
+		return fmt.Errorf("actuator %q: scope %v does not match registration kind %v",
+			a.Name, a.Scope, scope)
+	}
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.acts[a.Name]; dup {
+		return fmt.Errorf("actuator: %q already registered", a.Name)
+	}
+	r.acts[a.Name] = &registered{act: a, app: app}
+	return nil
+}
+
+// Unregister removes an actuator by name (e.g. when its app exits).
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.acts, name)
+}
+
+// AvailableTo returns the actuators the runtime may use on behalf of app:
+// all global actuators plus app's own application-scope actuators, in a
+// deterministic (name-sorted) order.
+func (r *Registry) AvailableTo(app string) []*Actuator {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*Actuator
+	for _, reg := range r.acts {
+		if reg.app == "" || reg.app == app {
+			out = append(out, reg.act)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SpaceFor composes the action space available to app.
+func (r *Registry) SpaceFor(app string) (*Space, error) {
+	acts := r.AvailableTo(app)
+	if len(acts) == 0 {
+		return nil, fmt.Errorf("actuator: no actions available to %q", app)
+	}
+	return NewSpace(acts...)
+}
+
+// Names lists registered actuator names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.acts))
+	for n := range r.acts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

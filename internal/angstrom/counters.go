@@ -1,0 +1,83 @@
+// Package angstrom models the Angstrom processor (§4): a manycore design
+// whose defining property is that the hardware's sensors and adaptations
+// are *exposed* rather than self-managed, so the SEEC runtime can
+// coordinate hardware actions with software ones.
+//
+// The package provides the observation layer (memory-mapped performance
+// counters, event probes, environmental sensors — §4.1), the action layer
+// (per-core DVFS, reconfigurable caches, adaptive coherence and NoC —
+// §4.2, built on the cache and noc packages), the partner cores that make
+// decision-making cheap (§4.3), and an interval chip simulator that
+// produces performance and power for any configuration of a workload —
+// the substitute for the Graphite testbed of §5.3.
+package angstrom
+
+import "fmt"
+
+// CounterID names one per-tile hardware performance counter (§4.1 lists
+// the classes: memory operations, cache hits and misses, pipeline stalls,
+// network flits sent/received; we add energy, which §4.1 exposes through
+// the sensor file).
+type CounterID int
+
+// The counter file layout. Every counter is 64-bit and saturating-free
+// (wrap is the software's problem, as in real hardware).
+const (
+	CtrInstructions CounterID = iota
+	CtrCycles
+	CtrMemOps
+	CtrL2Hits
+	CtrL2Misses
+	CtrStallCycles
+	CtrFlitsTx
+	CtrFlitsRx
+	CtrMemAccesses
+	CtrEnergyNJ
+	NumCounters
+)
+
+// String implements fmt.Stringer for reports.
+func (id CounterID) String() string {
+	names := [...]string{
+		"instructions", "cycles", "mem_ops", "l2_hits", "l2_misses",
+		"stall_cycles", "flits_tx", "flits_rx", "mem_accesses", "energy_nj",
+	}
+	if int(id) < len(names) {
+		return names[id]
+	}
+	return fmt.Sprintf("counter(%d)", int(id))
+}
+
+// CounterFile is one tile's counter block. In hardware these are
+// memory-mapped and readable by any layer of the software stack (§4.1:
+// no fixed limit on simultaneously-read counters, unlike conventional
+// PMUs); here that translates to: any component holding a reference may
+// Read any counter at any time, with no "event selection" step.
+//
+// The simulator is single-goroutine, so CounterFile is unsynchronized by
+// design — like the hardware, reads are just loads.
+type CounterFile struct {
+	v [NumCounters]uint64
+}
+
+// Read returns the current value of one counter.
+func (c *CounterFile) Read(id CounterID) uint64 { return c.v[id] }
+
+// Add increments a counter.
+func (c *CounterFile) Add(id CounterID, n uint64) { c.v[id] += n }
+
+// Snapshot copies the whole file (for delta computation by pollers).
+func (c *CounterFile) Snapshot() [NumCounters]uint64 { return c.v }
+
+// Delta returns the per-counter difference against an older snapshot.
+func (c *CounterFile) Delta(prev [NumCounters]uint64) [NumCounters]uint64 {
+	var d [NumCounters]uint64
+	for i := range d {
+		d[i] = c.v[i] - prev[i]
+	}
+	return d
+}
+
+// Reset zeroes the file (simulation convenience; hardware counters reset
+// through a control register write, same effect).
+func (c *CounterFile) Reset() { c.v = [NumCounters]uint64{} }

@@ -1,0 +1,71 @@
+package angstrom
+
+import (
+	"fmt"
+	"math"
+)
+
+// VFPoint is one per-core voltage/frequency operating point (§4.2.1;
+// the evaluation of §5.3 uses exactly two: 0.4 V/100 MHz and
+// 0.8 V/500 MHz).
+type VFPoint struct {
+	Volts float64
+	FHz   float64
+}
+
+// VFPoints are Angstrom's per-core operating points, low first.
+func VFPoints() []VFPoint {
+	return []VFPoint{
+		{Volts: 0.4, FHz: 100e6},
+		{Volts: 0.8, FHz: 500e6},
+	}
+}
+
+// CoreEnergy models a core's switching and leakage energy as a function
+// of voltage, anchored to the voltage-scalable processor of [17]
+// (10.2 pJ/cycle at 0.54 V in the paper's citation; the CV² fit below
+// gives ~10 pJ/cycle at 0.4–0.54 V class points for our parameters).
+type CoreEnergy struct {
+	// CeffPJPerV2 is the effective switched capacitance: dynamic energy
+	// per cycle = Ceff·V², in pJ with V in volts.
+	CeffPJPerV2 float64
+	// LeakWAtNominal is leakage power at NominalV.
+	LeakWAtNominal float64
+	// NominalV anchors the leakage scaling.
+	NominalV float64
+	// StallActivity is the fraction of dynamic energy still burned on a
+	// stalled cycle (clock tree, front end).
+	StallActivity float64
+}
+
+// DefaultCoreEnergy returns the Angstrom core energy model.
+func DefaultCoreEnergy() CoreEnergy {
+	return CoreEnergy{
+		CeffPJPerV2:    62.5, // 62.5·0.4² = 10 pJ/cycle at the low point
+		LeakWAtNominal: 4e-3, // 4 mW at 0.8 V
+		NominalV:       0.8,
+		StallActivity:  0.3,
+	}
+}
+
+// DynamicPJPerCycle is switching energy per active cycle at voltage v.
+func (e CoreEnergy) DynamicPJPerCycle(v float64) float64 {
+	return e.CeffPJPerV2 * v * v
+}
+
+// LeakW is leakage power at voltage v (V·e^((V−Vnom)/0.25) scaling, as
+// in the SRAM model: DIBL-dominated superlinear drop).
+func (e CoreEnergy) LeakW(v float64) float64 {
+	return e.LeakWAtNominal * (v / e.NominalV) * math.Exp((v-e.NominalV)/0.25)
+}
+
+// Validate checks the model's parameters.
+func (e CoreEnergy) Validate() error {
+	if e.CeffPJPerV2 <= 0 || e.LeakWAtNominal < 0 || e.NominalV <= 0 {
+		return fmt.Errorf("angstrom: bad core energy model %+v", e)
+	}
+	if e.StallActivity < 0 || e.StallActivity > 1 {
+		return fmt.Errorf("angstrom: stall activity %g outside [0,1]", e.StallActivity)
+	}
+	return nil
+}

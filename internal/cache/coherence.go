@@ -1,0 +1,325 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+)
+
+// Network abstracts the on-chip interconnect for the coherence protocols
+// (the noc package provides the real implementation; tests use stubs).
+type Network interface {
+	// LatencyCycles is the one-way latency of a message from tile src to
+	// tile dst, in core cycles.
+	LatencyCycles(src, dst int) float64
+	// Hops is the path length in links, for energy accounting.
+	Hops(src, dst int) int
+}
+
+// Outcome summarizes one memory access under a coherence protocol.
+type Outcome struct {
+	Cycles      float64 // total latency in cycles
+	Flits       int     // network flits generated
+	FlitHops    int     // Σ flits×hops, for network energy
+	MemAccesses int     // off-chip accesses
+	Hit         bool    // serviced on chip (any tile)
+}
+
+// Protocol is a cache-coherence protocol over a set of per-tile caches.
+type Protocol interface {
+	Name() string
+	// Access performs a line-granular access from the given core.
+	Access(core int, line uint64, write bool) Outcome
+	// FlushAll invalidates every cached line (protocol switch), returning
+	// the number of writebacks.
+	FlushAll() int
+	// Stats aggregates the underlying caches' counters.
+	Stats() Stats
+}
+
+// Message sizing: control messages are one flit; a 64-byte line payload
+// is 64/16 = 4 data flits plus the head flit.
+const (
+	ctrlFlits = 1
+	dataFlits = 5
+)
+
+// ---------------------------------------------------------------------
+// Directory-based MSI (Gupta et al. [13])
+// ---------------------------------------------------------------------
+
+type dirEntry struct {
+	sharers map[int]struct{}
+	owner   int // dirty owner, -1 if none
+}
+
+// Directory is a distributed directory-based MSI protocol: each line has
+// a home tile (striped by address) whose directory tracks sharers and a
+// possible dirty owner. Private per-tile caches replicate read-shared
+// lines; writes invalidate remote copies.
+type Directory struct {
+	caches []*Cache
+	net    Network
+	mem    float64 // off-chip latency, cycles
+	l2     float64 // local cache access latency, cycles
+	dir    map[uint64]*dirEntry
+}
+
+// NewDirectory builds the protocol over per-tile caches.
+func NewDirectory(caches []*Cache, net Network, l2Cycles, memCycles float64) (*Directory, error) {
+	if len(caches) == 0 {
+		return nil, fmt.Errorf("cache: directory needs at least one cache")
+	}
+	return &Directory{
+		caches: caches, net: net, mem: memCycles, l2: l2Cycles,
+		dir: make(map[uint64]*dirEntry),
+	}, nil
+}
+
+// Name implements Protocol.
+func (d *Directory) Name() string { return "directory-msi" }
+
+func (d *Directory) home(line uint64) int { return int(line % uint64(len(d.caches))) }
+
+func (d *Directory) entry(line uint64) *dirEntry {
+	e, ok := d.dir[line]
+	if !ok {
+		e = &dirEntry{sharers: make(map[int]struct{}), owner: -1}
+		d.dir[line] = e
+	}
+	return e
+}
+
+// Access implements Protocol.
+func (d *Directory) Access(core int, line uint64, write bool) Outcome {
+	c := d.caches[core]
+	out := Outcome{}
+	e := d.entry(line)
+	_, isSharer := e.sharers[core]
+	localHit := c.Contains(line) && (isSharer || e.owner == core)
+	if localHit && (!write || e.owner == core) {
+		// Read hit, or write hit on an already-exclusive line.
+		c.Access(line, write)
+		out.Cycles = d.l2
+		out.Hit = true
+		return out
+	}
+	home := d.home(line)
+	if localHit && write {
+		// Write hit on a shared line: upgrade via home, invalidating the
+		// other sharers.
+		c.Access(line, true)
+		out.Cycles = d.l2 + d.msg(core, home, ctrlFlits, &out)
+		far := 0.0
+		for s := range e.sharers {
+			if s == core {
+				continue
+			}
+			lat := d.msg(home, s, ctrlFlits, &out)
+			d.msg(s, home, ctrlFlits, &out) // ack
+			if lat > far {
+				far = lat
+			}
+			d.caches[s].Invalidate(line)
+		}
+		out.Cycles += 2 * far
+		e.sharers = map[int]struct{}{core: {}}
+		e.owner = core
+		out.Hit = true
+		return out
+	}
+	// Miss in the local cache: request to home.
+	out.Cycles = d.l2 // tag check
+	out.Cycles += d.msg(core, home, ctrlFlits, &out)
+	switch {
+	case e.owner >= 0 && e.owner != core:
+		// Dirty remote: forward, owner supplies data (cache-to-cache).
+		owner := e.owner
+		out.Cycles += d.msg(home, owner, ctrlFlits, &out)
+		out.Cycles += d.l2 // owner cache read
+		out.Cycles += d.msg(owner, core, dataFlits, &out)
+		out.Hit = true
+		if write {
+			d.caches[owner].Invalidate(line)
+			delete(e.sharers, owner)
+			e.owner = core
+		} else {
+			e.owner = -1 // downgraded to shared; owner keeps a copy
+			e.sharers[owner] = struct{}{}
+		}
+	case len(e.sharers) > 0 && !write:
+		// Clean shared somewhere on chip: home forwards from a sharer.
+		src := anySharer(e)
+		out.Cycles += d.msg(home, src, ctrlFlits, &out)
+		out.Cycles += d.l2
+		out.Cycles += d.msg(src, core, dataFlits, &out)
+		out.Hit = true
+	case len(e.sharers) > 0 && write:
+		// Write to a shared line: invalidate all sharers, fetch from one.
+		src := anySharer(e)
+		far := 0.0
+		for s := range e.sharers {
+			lat := d.msg(home, s, ctrlFlits, &out)
+			d.msg(s, home, ctrlFlits, &out)
+			if lat > far {
+				far = lat
+			}
+			if s != core {
+				d.caches[s].Invalidate(line)
+			}
+		}
+		out.Cycles += 2*far + d.l2
+		out.Cycles += d.msg(src, core, dataFlits, &out)
+		out.Hit = true
+		e.sharers = make(map[int]struct{})
+		e.owner = core
+	default:
+		// Nowhere on chip: fetch from memory via home.
+		out.Cycles += d.mem
+		out.MemAccesses++
+		out.Cycles += d.msg(home, core, dataFlits, &out)
+		if write {
+			e.owner = core
+		}
+	}
+	e.sharers[core] = struct{}{}
+	res := c.Access(line, write)
+	if res.Evicted {
+		d.dropSharer(res.EvictedLine, core, res.EvictedDirty, &out)
+	}
+	return out
+}
+
+// msg accounts one message and returns its latency.
+func (d *Directory) msg(src, dst int, flits int, out *Outcome) float64 {
+	out.Flits += flits
+	out.FlitHops += flits * d.net.Hops(src, dst)
+	return d.net.LatencyCycles(src, dst)
+}
+
+// dropSharer removes an evicted line's bookkeeping; dirty victims write
+// back to the home memory controller.
+func (d *Directory) dropSharer(line uint64, core int, dirty bool, out *Outcome) {
+	e, ok := d.dir[line]
+	if !ok {
+		return
+	}
+	delete(e.sharers, core)
+	if e.owner == core {
+		e.owner = -1
+	}
+	if dirty {
+		d.msg(core, d.home(line), dataFlits, out)
+		out.MemAccesses++
+	}
+	if len(e.sharers) == 0 && e.owner < 0 {
+		delete(d.dir, line)
+	}
+}
+
+func anySharer(e *dirEntry) int {
+	min := math.MaxInt
+	for s := range e.sharers {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// FlushAll implements Protocol.
+func (d *Directory) FlushAll() int {
+	wb := 0
+	for _, c := range d.caches {
+		wb += c.Flush()
+	}
+	d.dir = make(map[uint64]*dirEntry)
+	return wb
+}
+
+// Stats implements Protocol.
+func (d *Directory) Stats() Stats { return sumStats(d.caches) }
+
+// ---------------------------------------------------------------------
+// Shared NUCA (Kim et al. [20])
+// ---------------------------------------------------------------------
+
+// NUCA treats all per-tile cache slices as one chip-wide shared cache:
+// every line lives in exactly one home slice (striped by address), so
+// there is no replication and no invalidation traffic, at the cost of a
+// network round trip on every access. Large aggregate capacity, uniform
+// sharing — the better protocol for big working sets with little reuse
+// locality, exactly the trade ARCc exploits [19].
+type NUCA struct {
+	slices []*Cache
+	net    Network
+	mem    float64
+	l2     float64
+}
+
+// NewNUCA builds the protocol over per-tile slices.
+func NewNUCA(slices []*Cache, net Network, l2Cycles, memCycles float64) (*NUCA, error) {
+	if len(slices) == 0 {
+		return nil, fmt.Errorf("cache: NUCA needs at least one slice")
+	}
+	return &NUCA{slices: slices, net: net, mem: memCycles, l2: l2Cycles}, nil
+}
+
+// Name implements Protocol.
+func (n *NUCA) Name() string { return "shared-nuca" }
+
+// Access implements Protocol.
+func (n *NUCA) Access(core int, line uint64, write bool) Outcome {
+	out := Outcome{}
+	home := int(line % uint64(len(n.slices)))
+	sliceLocal := line / uint64(len(n.slices))
+	if home != core {
+		out.Flits += ctrlFlits
+		out.FlitHops += ctrlFlits * n.net.Hops(core, home)
+		out.Cycles += n.net.LatencyCycles(core, home)
+	}
+	res := n.slices[home].Access(sliceLocal, write)
+	out.Cycles += n.l2
+	if res.Hit {
+		out.Hit = true
+	} else {
+		out.Cycles += n.mem
+		out.MemAccesses++
+		if res.Evicted && res.EvictedDirty {
+			out.MemAccesses++ // victim writeback
+			out.Flits += dataFlits
+			out.FlitHops += dataFlits // to the slice's memory controller
+		}
+	}
+	if home != core {
+		out.Flits += dataFlits
+		out.FlitHops += dataFlits * n.net.Hops(home, core)
+		out.Cycles += n.net.LatencyCycles(home, core)
+	}
+	return out
+}
+
+// FlushAll implements Protocol.
+func (n *NUCA) FlushAll() int {
+	wb := 0
+	for _, c := range n.slices {
+		wb += c.Flush()
+	}
+	return wb
+}
+
+// Stats implements Protocol.
+func (n *NUCA) Stats() Stats { return sumStats(n.slices) }
+
+func sumStats(caches []*Cache) Stats {
+	var s Stats
+	for _, c := range caches {
+		cs := c.Stats()
+		s.Accesses += cs.Accesses
+		s.Hits += cs.Hits
+		s.Misses += cs.Misses
+		s.Evictions += cs.Evictions
+		s.Writebacks += cs.Writebacks
+		s.Invalidations += cs.Invalidations
+	}
+	return s
+}

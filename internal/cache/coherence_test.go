@@ -1,0 +1,309 @@
+package cache
+
+import (
+	"testing"
+
+	"angstrom/internal/sim"
+)
+
+// lineNet is a stub interconnect: tiles on a line, 2 cycles per hop.
+type lineNet struct{}
+
+func (lineNet) Hops(src, dst int) int {
+	if src > dst {
+		src, dst = dst, src
+	}
+	return dst - src
+}
+
+func (n lineNet) LatencyCycles(src, dst int) float64 {
+	return float64(3 + 2*n.Hops(src, dst))
+}
+
+func newTiles(t *testing.T, n, kb int) []*Cache {
+	t.Helper()
+	out := make([]*Cache, n)
+	for i := range out {
+		out[i] = mustCache(t, kb, 8)
+	}
+	return out
+}
+
+func newDir(t *testing.T, n, kb int) *Directory {
+	t.Helper()
+	d, err := NewDirectory(newTiles(t, n, kb), lineNet{}, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func newNUCA(t *testing.T, n, kb int) *NUCA {
+	t.Helper()
+	nu, err := NewNUCA(newTiles(t, n, kb), lineNet{}, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nu
+}
+
+func TestDirectoryColdMissGoesToMemory(t *testing.T) {
+	d := newDir(t, 4, 64)
+	out := d.Access(0, 1000, false)
+	if out.Hit {
+		t.Fatal("cold miss reported as on-chip hit")
+	}
+	if out.MemAccesses != 1 {
+		t.Fatalf("MemAccesses = %d, want 1", out.MemAccesses)
+	}
+	if out.Cycles <= 100 {
+		t.Fatalf("cycles = %g, must exceed memory latency", out.Cycles)
+	}
+}
+
+func TestDirectoryLocalHitIsCheap(t *testing.T) {
+	d := newDir(t, 4, 64)
+	d.Access(0, 1000, false)
+	out := d.Access(0, 1000, false)
+	if !out.Hit || out.Cycles != 2 || out.Flits != 0 {
+		t.Fatalf("local read hit = %+v, want 2 cycles, no traffic", out)
+	}
+}
+
+func TestDirectoryCacheToCacheTransfer(t *testing.T) {
+	d := newDir(t, 4, 64)
+	d.Access(0, 1000, false) // memory fill to core 0
+	out := d.Access(1, 1000, false)
+	if !out.Hit {
+		t.Fatal("second core's read should be serviced on chip")
+	}
+	if out.MemAccesses != 0 {
+		t.Fatalf("MemAccesses = %d, want 0 (cache-to-cache)", out.MemAccesses)
+	}
+}
+
+func TestDirectoryWriteInvalidatesSharers(t *testing.T) {
+	d := newDir(t, 4, 64)
+	d.Access(0, 1000, false)
+	d.Access(1, 1000, false)
+	d.Access(2, 1000, false)
+	// Core 3 writes: all other copies must die.
+	d.Access(3, 1000, true)
+	for core := 0; core < 3; core++ {
+		if d.caches[core].Contains(1000) {
+			t.Fatalf("core %d still caches line after remote write", core)
+		}
+	}
+	// Core 3's subsequent write is an exclusive local hit.
+	out := d.Access(3, 1000, true)
+	if !out.Hit || out.Flits != 0 {
+		t.Fatalf("exclusive write hit = %+v, want silent local hit", out)
+	}
+}
+
+func TestDirectoryDirtyForwarding(t *testing.T) {
+	d := newDir(t, 4, 64)
+	d.Access(0, 1000, true) // core 0 owns dirty
+	out := d.Access(1, 1000, false)
+	if !out.Hit || out.MemAccesses != 0 {
+		t.Fatalf("read of dirty remote = %+v, want forwarded on-chip", out)
+	}
+	// After downgrade both cores share; another read hits locally.
+	if !d.caches[0].Contains(1000) {
+		t.Fatal("previous owner lost its copy on downgrade")
+	}
+}
+
+func TestDirectoryUpgradeOnSharedWrite(t *testing.T) {
+	d := newDir(t, 4, 64)
+	d.Access(0, 1000, false)
+	d.Access(1, 1000, false)
+	out := d.Access(0, 1000, true) // upgrade
+	if !out.Hit {
+		t.Fatal("upgrade treated as miss")
+	}
+	if d.caches[1].Contains(1000) {
+		t.Fatal("sharer survived upgrade")
+	}
+}
+
+func TestNUCASingleCopyNoInvalidations(t *testing.T) {
+	nu := newNUCA(t, 4, 64)
+	for core := 0; core < 4; core++ {
+		nu.Access(core, 1000, true)
+	}
+	if s := nu.Stats(); s.Invalidations != 0 {
+		t.Fatalf("NUCA produced %d invalidations, want 0", s.Invalidations)
+	}
+	// Exactly one slice holds the line.
+	holders := 0
+	for _, c := range nu.slices {
+		if c.Contains(1000 / 4) {
+			holders++
+		}
+	}
+	if holders != 1 {
+		t.Fatalf("line held by %d slices, want 1", holders)
+	}
+}
+
+func TestNUCARemoteAccessPaysNetwork(t *testing.T) {
+	nu := newNUCA(t, 4, 64)
+	line := uint64(1001) // home = 1001 % 4 = 1
+	nu.Access(1, line, false)
+	local := nu.Access(1, line, false)
+	remote := nu.Access(3, line, false)
+	if !local.Hit || !remote.Hit {
+		t.Fatal("warm NUCA accesses should hit")
+	}
+	if remote.Cycles <= local.Cycles {
+		t.Fatalf("remote slice access (%g cycles) must cost more than home access (%g)",
+			remote.Cycles, local.Cycles)
+	}
+	if remote.Flits == 0 {
+		t.Fatal("remote access generated no traffic")
+	}
+}
+
+// TestNUCACapacityBeatsDirectoryOnHugeSharedSet reproduces the ARCc
+// trade-off: a shared working set larger than one tile's cache but
+// smaller than the chip's aggregate capacity thrashes per-tile private
+// caches under the directory protocol but fits the NUCA aggregate.
+func TestNUCACapacityBeatsDirectoryOnHugeSharedSet(t *testing.T) {
+	const tiles, kb = 16, 64
+	// Working set: 16 × 64 KB = 1 MB aggregate; use 8192 lines (512 KB).
+	const wsLines = 8192
+	run := func(p Protocol) float64 {
+		rng := sim.NewRNG(5)
+		misses := 0
+		const accesses = 60000
+		for i := 0; i < accesses; i++ {
+			core := rng.Intn(tiles)
+			line := uint64(rng.Intn(wsLines))
+			out := p.Access(core, line, false)
+			if out.MemAccesses > 0 {
+				misses++
+			}
+		}
+		return float64(misses) / accesses
+	}
+	dirMiss := run(newDir(t, tiles, kb))
+	nucaMiss := run(newNUCA(t, tiles, kb))
+	if nucaMiss >= dirMiss {
+		t.Fatalf("NUCA off-chip rate %g not below directory %g on capacity-bound set",
+			nucaMiss, dirMiss)
+	}
+}
+
+// TestDirectoryLatencyBeatsNUCAOnPrivateSets: private per-core data with
+// high locality favours the directory protocol (local hits, no network).
+func TestDirectoryLatencyBeatsNUCAOnPrivateSets(t *testing.T) {
+	const tiles, kb = 16, 64
+	run := func(p Protocol) float64 {
+		rng := sim.NewRNG(6)
+		cycles := 0.0
+		const accesses = 40000
+		for i := 0; i < accesses; i++ {
+			core := rng.Intn(tiles)
+			// 256 hot private lines per core, disjoint regions.
+			line := uint64(core*10000 + rng.Intn(256))
+			cycles += p.Access(core, line, false).Cycles
+		}
+		return cycles / accesses
+	}
+	dirLat := run(newDir(t, tiles, kb))
+	nucaLat := run(newNUCA(t, tiles, kb))
+	if dirLat >= nucaLat {
+		t.Fatalf("directory latency %g not below NUCA %g on private working sets",
+			dirLat, nucaLat)
+	}
+}
+
+func TestAdaptiveSelectsNUCAForCapacityBoundSharing(t *testing.T) {
+	const tiles, kb = 16, 64
+	ad, err := NewAdaptive(newDir(t, tiles, kb), newNUCA(t, tiles, kb), 2048, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(7)
+	for i := 0; i < 120000; i++ {
+		core := rng.Intn(tiles)
+		line := uint64(rng.Intn(8192))
+		ad.Access(core, line, false)
+	}
+	if ad.Active() != "shared-nuca" {
+		t.Fatalf("adaptive protocol settled on %s, want shared-nuca", ad.Active())
+	}
+}
+
+func TestAdaptiveSelectsDirectoryForPrivateLocality(t *testing.T) {
+	const tiles, kb = 16, 64
+	ad, err := NewAdaptive(newDir(t, tiles, kb), newNUCA(t, tiles, kb), 2048, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(8)
+	for i := 0; i < 120000; i++ {
+		core := rng.Intn(tiles)
+		line := uint64(core*10000 + rng.Intn(256))
+		ad.Access(core, line, false)
+	}
+	if ad.Active() != "directory-msi" {
+		t.Fatalf("adaptive protocol settled on %s, want directory-msi", ad.Active())
+	}
+}
+
+func TestAdaptiveForceProtocol(t *testing.T) {
+	ad, err := NewAdaptive(newDir(t, 4, 64), newNUCA(t, 4, 64), 1024, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ad.ForceProtocol(1); err != nil {
+		t.Fatal(err)
+	}
+	if ad.Active() != "shared-nuca" {
+		t.Fatalf("Active = %s after ForceProtocol(1)", ad.Active())
+	}
+	// Forced: many accesses must not flip it back.
+	rng := sim.NewRNG(9)
+	for i := 0; i < 30000; i++ {
+		ad.Access(rng.Intn(4), uint64(rng.Intn(100)), false)
+	}
+	if ad.Active() != "shared-nuca" {
+		t.Fatal("forced protocol changed autonomously")
+	}
+	if err := ad.ForceProtocol(5); err == nil {
+		t.Fatal("bad protocol index accepted")
+	}
+}
+
+func TestAdaptiveRejectsBadConfig(t *testing.T) {
+	if _, err := NewAdaptive(nil, nil, 1024, 0); err == nil {
+		t.Fatal("nil protocols accepted")
+	}
+	if _, err := NewAdaptive(newDir(t, 2, 64), newNUCA(t, 2, 64), 4, 0); err == nil {
+		t.Fatal("tiny epoch accepted")
+	}
+}
+
+func TestProtocolsRejectEmptyCaches(t *testing.T) {
+	if _, err := NewDirectory(nil, lineNet{}, 1, 10); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+	if _, err := NewNUCA(nil, lineNet{}, 1, 10); err == nil {
+		t.Fatal("empty NUCA accepted")
+	}
+}
+
+func TestFlushAllResetsProtocols(t *testing.T) {
+	d := newDir(t, 4, 64)
+	d.Access(0, 1, true)
+	d.Access(1, 1, false)
+	if wb := d.FlushAll(); wb < 1 {
+		t.Fatalf("FlushAll writebacks = %d, want >= 1", wb)
+	}
+	out := d.Access(2, 1, false)
+	if out.MemAccesses != 1 {
+		t.Fatal("directory state survived FlushAll")
+	}
+}

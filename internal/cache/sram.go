@@ -1,0 +1,76 @@
+package cache
+
+import "math"
+
+// SRAM models Angstrom's voltage-scalable SRAM arrays (§4.2.1).
+// Conventional SRAM fails below ~0.7 V; Angstrom's arrays use 8T-style
+// bit cells and peripheral assist circuits [7, 6, 21, 33] to stay stable
+// down to sub-threshold voltages at reduced speed. The model captures
+// the three things the chip simulator needs: access energy (∝ V²),
+// access latency (grows steeply at low voltage), and leakage power
+// (drops superlinearly with voltage).
+type SRAM struct {
+	// NominalV is the voltage at which the reference numbers hold.
+	NominalV float64
+	// MinV is the lowest operational voltage (assist limit).
+	MinV float64
+	// ReadPJAtNominal is energy per line read at NominalV, in pJ.
+	ReadPJAtNominal float64
+	// WritePJAtNominal is energy per line write at NominalV, in pJ.
+	WritePJAtNominal float64
+	// LatencyCyclesAtNominal is the access latency at NominalV in core
+	// cycles (at the core's matching frequency).
+	LatencyCyclesAtNominal float64
+	// LeakUWPerKBAtNominal is leakage per KB at NominalV, in µW.
+	LeakUWPerKBAtNominal float64
+}
+
+// DefaultSRAM is the 28 nm-class array used by the Angstrom model:
+// numbers follow the voltage-scalable parts cited by the paper
+// ([33]: 28 nm 6T with assist to 0.6 V; [6]: sub-threshold to ~0.4 V).
+func DefaultSRAM() SRAM {
+	return SRAM{
+		NominalV:               0.8,
+		MinV:                   0.4,
+		ReadPJAtNominal:        12,
+		WritePJAtNominal:       15,
+		LatencyCyclesAtNominal: 2,
+		LeakUWPerKBAtNominal:   30,
+	}
+}
+
+// Operational reports whether the array is stable at v.
+func (s SRAM) Operational(v float64) bool { return v >= s.MinV }
+
+// ReadPJ returns energy per line read at voltage v (CV² scaling).
+func (s SRAM) ReadPJ(v float64) float64 {
+	r := v / s.NominalV
+	return s.ReadPJAtNominal * r * r
+}
+
+// WritePJ returns energy per line write at voltage v.
+func (s SRAM) WritePJ(v float64) float64 {
+	r := v / s.NominalV
+	return s.WritePJAtNominal * r * r
+}
+
+// LatencyCycles returns the access latency at voltage v, in cycles of a
+// clock that itself slows with voltage. The latency ratio follows the
+// alpha-power-law delay model: delay ∝ V/(V−Vt)^α with Vt = 0.3 V and
+// α = 1.3, normalized at NominalV.
+func (s SRAM) LatencyCycles(v float64) float64 {
+	const vt, alpha = 0.3, 1.3
+	delay := func(volt float64) float64 {
+		return volt / math.Pow(volt-vt, alpha)
+	}
+	return s.LatencyCyclesAtNominal * delay(v) / delay(s.NominalV)
+}
+
+// LeakW returns leakage power for kb kilobytes at voltage v, in watts.
+// Leakage scales ≈ V·exp((V−Vnom)/Vslope): DIBL-driven superlinear drop
+// as voltage falls.
+func (s SRAM) LeakW(kb float64, v float64) float64 {
+	const vslope = 0.25
+	scale := (v / s.NominalV) * math.Exp((v-s.NominalV)/vslope)
+	return s.LeakUWPerKBAtNominal * 1e-6 * kb * scale
+}

@@ -1,0 +1,94 @@
+package control
+
+import "fmt"
+
+// RLS is a recursive least-squares estimator with exponential forgetting:
+// it fits y ≈ x·θ on line, discounting old samples by λ per step. The
+// SEEC adaptive layer uses it (with one-hot setting features in the log
+// domain) to learn the *actual* effect of each actuator setting when the
+// observed behaviour diverges from the designer-declared multipliers.
+type RLS struct {
+	n      int
+	lambda float64
+	theta  []float64
+	p      [][]float64 // covariance matrix
+
+	scratch []float64 // reusable P·x buffer
+}
+
+// NewRLS builds an estimator over n features with forgetting factor
+// lambda in (0, 1] and initial covariance p0·I (larger p0 = faster
+// initial learning).
+func NewRLS(n int, lambda, p0 float64) *RLS {
+	if n <= 0 {
+		panic("control: RLS with no features")
+	}
+	if lambda <= 0 || lambda > 1 {
+		panic("control: RLS forgetting factor must be in (0, 1]")
+	}
+	if p0 <= 0 {
+		panic("control: RLS initial covariance must be positive")
+	}
+	r := &RLS{
+		n:       n,
+		lambda:  lambda,
+		theta:   make([]float64, n),
+		p:       make([][]float64, n),
+		scratch: make([]float64, n),
+	}
+	for i := range r.p {
+		r.p[i] = make([]float64, n)
+		r.p[i][i] = p0
+	}
+	return r
+}
+
+// Predict returns x·θ.
+func (r *RLS) Predict(x []float64) float64 {
+	if len(x) != r.n {
+		panic(fmt.Sprintf("control: RLS feature length %d, want %d", len(x), r.n))
+	}
+	y := 0.0
+	for i, xi := range x {
+		y += xi * r.theta[i]
+	}
+	return y
+}
+
+// Update folds in one observation (x, y) and returns the prediction error
+// before the update.
+func (r *RLS) Update(x []float64, y float64) float64 {
+	err := y - r.Predict(x)
+	// k = P·x / (λ + xᵀ·P·x)
+	px := r.scratch
+	for i := 0; i < r.n; i++ {
+		s := 0.0
+		for j := 0; j < r.n; j++ {
+			s += r.p[i][j] * x[j]
+		}
+		px[i] = s
+	}
+	denom := r.lambda
+	for i := 0; i < r.n; i++ {
+		denom += x[i] * px[i]
+	}
+	// θ += k·err ;  P = (P − k·xᵀ·P) / λ
+	for i := 0; i < r.n; i++ {
+		k := px[i] / denom
+		r.theta[i] += k * err
+	}
+	for i := 0; i < r.n; i++ {
+		ki := px[i] / denom
+		for j := 0; j < r.n; j++ {
+			r.p[i][j] = (r.p[i][j] - ki*px[j]) / r.lambda
+		}
+	}
+	return err
+}
+
+// Theta returns a copy of the coefficient estimates.
+func (r *RLS) Theta() []float64 {
+	out := make([]float64, r.n)
+	copy(out, r.theta)
+	return out
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"angstrom/internal/heartbeat"
+	"angstrom/internal/sim"
+)
+
+// Manager coordinates SEEC across multiple applications competing for a
+// shared, partitionable global resource (cores, in both of the paper's
+// platforms). This is the scenario §2 contrasts with Bitirgen et al.'s
+// closed resource manager: here every application brings its *own* goal
+// through the heartbeat interface, and the decision engine allocates the
+// shared resource to meet all goals at minimum total cost rather than
+// optimizing one fixed system-wide objective.
+//
+// The mechanism reuses the single-application layers: each application
+// gets a Kalman base-speed estimate and an error integrator; each
+// period the manager computes every application's resource demand (the
+// share that meets its goal under its measured scaling) and resolves
+// over-subscription by proportional scaling — the water-filling solution
+// for concave per-application utility.
+type Manager struct {
+	clock sim.Nower
+	total int // shared resource units (e.g. cores)
+
+	apps []*managedApp
+}
+
+// managedApp is the per-application control state.
+type managedApp struct {
+	name string
+	mon  *heartbeat.Monitor
+	// scaling maps resource units to relative speed (1 unit = 1.0);
+	// measured or declared by the platform (e.g. Amdahl curve).
+	scaling func(units int) float64
+
+	kfBase    float64 // smoothed base rate: rate at 1 unit
+	haveBase  bool
+	allocated int
+
+	prevBeats uint64
+	prevTime  sim.Time
+}
+
+// NewManager builds a coordinator over `total` resource units.
+func NewManager(clock sim.Nower, total int) (*Manager, error) {
+	if clock == nil {
+		return nil, fmt.Errorf("core: nil clock")
+	}
+	if total < 1 {
+		return nil, fmt.Errorf("core: no resource units to manage")
+	}
+	return &Manager{clock: clock, total: total}, nil
+}
+
+// AddApp enrolls an application: its monitor (with a declared
+// performance goal) and its resource-scaling curve. Every application
+// starts with one unit.
+func (m *Manager) AddApp(name string, mon *heartbeat.Monitor, scaling func(int) float64) error {
+	if mon == nil || scaling == nil {
+		return fmt.Errorf("core: nil monitor or scaling for %q", name)
+	}
+	for _, a := range m.apps {
+		if a.name == name {
+			return fmt.Errorf("core: %q already managed", name)
+		}
+	}
+	if len(m.apps)+1 > m.total {
+		return fmt.Errorf("core: %d applications exceed %d resource units", len(m.apps)+1, m.total)
+	}
+	m.apps = append(m.apps, &managedApp{
+		name: name, mon: mon, scaling: scaling,
+		allocated: 1,
+		prevTime:  m.clock.Now(),
+	})
+	return nil
+}
+
+// Allocation is one application's share after a decision.
+type Allocation struct {
+	App     string
+	Units   int
+	Demand  float64 // un-rounded units the goal asks for
+	GoalMet bool    // demand fit within the partition
+}
+
+// Step observes every application, computes demands, and returns the new
+// partition (allocations always sum to at most the total; every app
+// keeps at least one unit).
+func (m *Manager) Step() ([]Allocation, error) {
+	if len(m.apps) == 0 {
+		return nil, fmt.Errorf("core: no applications enrolled")
+	}
+	now := m.clock.Now()
+	demands := make([]float64, len(m.apps))
+	for i, a := range m.apps {
+		goals := a.mon.Goals()
+		if goals.Performance == nil {
+			return nil, fmt.Errorf("core: %q has no performance goal", a.name)
+		}
+		obs := a.mon.Observe()
+		// Interval-average rate since the last decision.
+		rate := obs.WindowRate
+		if now > a.prevTime {
+			rate = float64(obs.Beats-a.prevBeats) / (now - a.prevTime)
+		}
+		a.prevBeats = obs.Beats
+		a.prevTime = now
+
+		if rate > 0 {
+			base := rate / a.scaling(a.allocated)
+			if !a.haveBase {
+				a.kfBase = base
+				a.haveBase = true
+			} else {
+				// EWMA: cheap, stable smoothing of the base estimate.
+				a.kfBase += 0.3 * (base - a.kfBase)
+			}
+		}
+		target := goals.Performance.Target()
+		demands[i] = m.demandUnits(a, target)
+	}
+	m.partition(demands)
+	out := make([]Allocation, len(m.apps))
+	for i, a := range m.apps {
+		out[i] = Allocation{
+			App:     a.name,
+			Units:   a.allocated,
+			Demand:  demands[i],
+			GoalMet: float64(a.allocated) >= demands[i],
+		}
+	}
+	return out, nil
+}
+
+// demandUnits inverts the application's scaling curve: the smallest unit
+// count whose predicted rate meets the target (fractional via linear
+// interpolation between unit counts).
+func (m *Manager) demandUnits(a *managedApp, target float64) float64 {
+	if !a.haveBase || a.kfBase <= 0 {
+		return 1
+	}
+	needSpeed := target / a.kfBase
+	prev := a.scaling(1)
+	if needSpeed <= prev {
+		return needSpeed / prev
+	}
+	for u := 2; u <= m.total; u++ {
+		s := a.scaling(u)
+		if s >= needSpeed {
+			// Interpolate between u-1 and u.
+			if s == prev {
+				return float64(u)
+			}
+			return float64(u-1) + (needSpeed-prev)/(s-prev)
+		}
+		prev = s
+	}
+	return float64(m.total)
+}
+
+// partition assigns integral units by water-filling: applications are
+// served in ascending order of demand; each receives its full (rounded
+// up) demand when that fits its progressive fair share, otherwise the
+// fair share. Units nobody demands stay unallocated — powering cores an
+// application cannot use is exactly the waste SEEC exists to avoid.
+// Every application keeps at least one unit.
+func (m *Manager) partition(demands []float64) {
+	order := make([]int, len(m.apps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if demands[order[i]] != demands[order[j]] {
+			return demands[order[i]] < demands[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	remaining := m.total
+	left := len(order)
+	for _, idx := range order {
+		fair := float64(remaining) / float64(left)
+		want := int(math.Ceil(demands[idx] - 1e-9))
+		units := want
+		if float64(want) > fair {
+			units = int(math.Round(fair))
+		}
+		if units < 1 {
+			units = 1
+		}
+		if max := remaining - (left - 1); units > max {
+			units = max
+		}
+		m.apps[idx].allocated = units
+		remaining -= units
+		left--
+	}
+}
+
+// Allocated reports an application's current share.
+func (m *Manager) Allocated(name string) (int, bool) {
+	for _, a := range m.apps {
+		if a.name == name {
+			return a.allocated, true
+		}
+	}
+	return 0, false
+}

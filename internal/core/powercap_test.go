@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"angstrom/internal/actuator"
+	"angstrom/internal/heartbeat"
+	"angstrom/internal/sim"
+)
+
+func TestPowerCapRejectsBadValues(t *testing.T) {
+	_, rt := newHarness(t, func(sim.Time) float64 { return 10 })
+	if err := rt.SetPowerCap(0); err == nil {
+		t.Fatal("zero cap accepted")
+	}
+	if err := rt.SetPowerCap(0.1); err == nil {
+		t.Fatal("cap below the cheapest configuration accepted")
+	}
+}
+
+func TestPowerCapLimitsSchedulePower(t *testing.T) {
+	p, rt := newHarness(t, func(sim.Time) float64 { return 10 })
+	p.mon.SetPerformanceGoal(45, 55) // wants speedup 5: needs expensive configs
+	if err := rt.SetPowerCap(3.0); err != nil {
+		t.Fatal(err)
+	}
+	const period = 1.0
+	var last Decision
+	for i := 0; i < 40; i++ {
+		d, err := rt.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.PredictedPower > 3.0+1e-9 {
+			t.Fatalf("step %d: schedule power %g exceeds the 3.0 cap", i, d.PredictedPower)
+		}
+		p.run(d, period)
+		last = d
+	}
+	// The goal is unreachable under the cap; the runtime must pin at the
+	// best capped configuration rather than blow the power budget.
+	if last.Schedule.Hi.Power > 3.0+1e-9 {
+		t.Fatalf("final schedule %+v violates the cap", last.Schedule)
+	}
+}
+
+func TestClearPowerCapRestoresRange(t *testing.T) {
+	p, rt := newHarness(t, func(sim.Time) float64 { return 10 })
+	p.mon.SetPerformanceGoal(45, 55)
+	if err := rt.SetPowerCap(3.0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		d, err := rt.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.run(d, 1.0)
+	}
+	if err := rt.ClearPowerCap(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		d, err := rt.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.run(d, 1.0)
+	}
+	// With the cap lifted the goal (speedup 5 of max 6) is reachable;
+	// measure the interval-average rate over ten more periods.
+	before := p.mon.Count()
+	t0 := p.clock.Now()
+	for i := 0; i < 10; i++ {
+		d, err := rt.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.run(d, 1.0)
+	}
+	rate := float64(p.mon.Count()-before) / (p.clock.Now() - t0)
+	if math.Abs(rate-50) > 5 {
+		t.Fatalf("rate after lifting cap = %g, want ~50", rate)
+	}
+}
+
+// accuracySpace builds a space with one hardware knob and one
+// application-level algorithm knob that trades accuracy for speed.
+func accuracySpace(t *testing.T) *actuator.Space {
+	t.Helper()
+	cores := &actuator.Actuator{
+		Name: "cores",
+		Settings: []actuator.Setting{
+			{Label: "1", Effect: actuator.Effect{Speedup: 1, PowerX: 1, Distort: 1}},
+			{Label: "2", Effect: actuator.Effect{Speedup: 2, PowerX: 2.2, Distort: 1}},
+		},
+		Apply: func(int) error { return nil },
+		Scope: actuator.GlobalScope,
+		Axes:  []actuator.Axis{actuator.Performance, actuator.Power},
+	}
+	algo := &actuator.Actuator{
+		Name: "algorithm",
+		Settings: []actuator.Setting{
+			{Label: "exact", Effect: actuator.Effect{Speedup: 1, PowerX: 1, Distort: 1}},
+			{Label: "approx", Effect: actuator.Effect{Speedup: 2.5, PowerX: 1, Distort: 3}},
+		},
+		Apply: func(int) error { return nil },
+		Scope: actuator.ApplicationScope,
+		Axes:  []actuator.Axis{actuator.Performance, actuator.Accuracy},
+	}
+	s, err := actuator.NewSpace(cores, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDistortionBoundExcludesApproximateAlgorithms(t *testing.T) {
+	clock := sim.NewClock(0)
+	mon := heartbeat.New(clock)
+	space := accuracySpace(t)
+	rt, err := New("app", clock, mon, space, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.SetPerformanceGoal(40, 50) // would love the approx algorithm
+	if err := rt.SetDistortionBound(1.5); err != nil {
+		t.Fatal(err)
+	}
+	p := &testPlatform{clock: clock, mon: mon, space: space,
+		base: func(sim.Time) float64 { return 10 }}
+	for i := 0; i < 30; i++ {
+		d, err := rt.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// No chosen configuration may use the approximate setting.
+		if d.HiCfg[1] != 0 || d.LoCfg[1] != 0 {
+			t.Fatalf("step %d chose the approximate algorithm under a 1.5 distortion bound", i)
+		}
+		p.run(d, 1.0)
+	}
+}
+
+func TestDistortionBoundValidation(t *testing.T) {
+	clock := sim.NewClock(0)
+	mon := heartbeat.New(clock)
+	rt, err := New("app", clock, mon, accuracySpace(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.SetDistortionBound(0); err == nil {
+		t.Fatal("zero bound accepted")
+	}
+	if err := rt.SetDistortionBound(0.5); err == nil {
+		t.Fatal("bound excluding every configuration accepted")
+	}
+	if err := rt.SetDistortionBound(1.0); err != nil {
+		t.Fatalf("bound keeping the exact algorithm rejected: %v", err)
+	}
+	if err := rt.ClearDistortionBound(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistortionBoundAllowsApproxWhenLoose(t *testing.T) {
+	clock := sim.NewClock(0)
+	mon := heartbeat.New(clock)
+	space := accuracySpace(t)
+	rt, err := New("app", clock, mon, space, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.SetPerformanceGoal(48, 52) // needs speedup 5 = 2 cores × approx
+	if err := rt.SetDistortionBound(3); err != nil {
+		t.Fatal(err)
+	}
+	p := &testPlatform{clock: clock, mon: mon, space: space,
+		base: func(sim.Time) float64 { return 10 }}
+	usedApprox := false
+	for i := 0; i < 40; i++ {
+		d, err := rt.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.HiCfg[1] == 1 {
+			usedApprox = true
+		}
+		p.run(d, 1.0)
+	}
+	if !usedApprox {
+		t.Fatal("runtime never used the approximate algorithm despite needing its speedup")
+	}
+}

@@ -1,0 +1,195 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"angstrom/internal/angstrom"
+	"angstrom/internal/workload"
+)
+
+// Fig2Point is one configuration of the §2 experiment: barnes on the
+// trace-driven simulator, swept over core allocation and per-core L2
+// size, reporting total energy for a fixed amount of work against
+// aggregate instructions per second — the axes of Figure 2.
+type Fig2Point struct {
+	Cores   int
+	CacheKB int
+	IPS     float64
+	EnergyJ float64
+
+	// Pareto marks membership in the global Pareto frontier (the line in
+	// the figure). CacheChoice marks configurations a closed cache-only
+	// controller would pick (squares); CoreChoice, a closed core-only
+	// allocator (triangles).
+	Pareto      bool
+	CacheChoice bool
+	CoreChoice  bool
+}
+
+// Fig2Options control the experiment's cost.
+type Fig2Options struct {
+	// Accesses is the trace length per configuration.
+	Accesses int
+	// Seed drives the synthetic traces.
+	Seed uint64
+	// WorkInstr is the fixed work whose energy is reported.
+	WorkInstr float64
+}
+
+func (o *Fig2Options) fill() {
+	if o.Accesses == 0 {
+		o.Accesses = 60000
+	}
+	if o.Seed == 0 {
+		o.Seed = 2012
+	}
+	if o.WorkInstr == 0 {
+		o.WorkInstr = 2e9
+	}
+}
+
+// Fig2Result is the dataset behind Figure 2.
+type Fig2Result struct {
+	Points []Fig2Point
+}
+
+// Fig2Cores and Fig2Caches are the swept values (§2: cores 1–64 by
+// powers of two, per-core L2 16–256 KB by powers of two).
+func Fig2Cores() []int  { return []int{1, 2, 4, 8, 16, 32, 64} }
+func Fig2Caches() []int { return []int{16, 32, 64, 128, 256} }
+
+// RunFig2 regenerates Figure 2 with the trace-driven simulator.
+func RunFig2(opts Fig2Options) (Fig2Result, error) {
+	opts.fill()
+	spec, err := workload.ByName("barnes")
+	if err != nil {
+		return Fig2Result{}, err
+	}
+	p := angstrom.DefaultParams()
+
+	type local struct {
+		m angstrom.Metrics
+	}
+	metrics := make(map[[2]int]local)
+	var res Fig2Result
+	for _, cores := range Fig2Cores() {
+		for _, kb := range Fig2Caches() {
+			cfg := angstrom.Config{Cores: cores, CacheKB: kb, VF: 1}
+			m, err := angstrom.EvaluateDetailed(p, spec, cfg, opts.Accesses, opts.Seed)
+			if err != nil {
+				return Fig2Result{}, err
+			}
+			metrics[[2]int{cores, kb}] = local{m: m}
+			t := opts.WorkInstr / m.IPS
+			res.Points = append(res.Points, Fig2Point{
+				Cores: cores, CacheKB: kb,
+				IPS:     m.IPS,
+				EnergyJ: m.PowerW * t,
+			})
+		}
+	}
+
+	markPareto(res.Points)
+
+	// Closed cache-only controller: for each core count (set by someone
+	// else), pick the cache size minimizing the memory hierarchy's own
+	// energy-delay product — (cache + memory power)/IPS² — blind to core
+	// and network costs. This is the [4]-style local policy of §2.
+	for _, cores := range Fig2Cores() {
+		best, bestKB := math.Inf(1), 0
+		for _, kb := range Fig2Caches() {
+			m := metrics[[2]int{cores, kb}].m
+			edp := (m.CacheW + m.MemW) / (m.IPS * m.IPS)
+			if edp < best {
+				best, bestKB = edp, kb
+			}
+		}
+		markChoice(res.Points, cores, bestKB, true)
+	}
+	// Closed core-only allocator: for each cache size, pick the core
+	// count minimizing the cores' own energy-delay product, blind to the
+	// memory system.
+	for _, kb := range Fig2Caches() {
+		best, bestCores := math.Inf(1), 0
+		for _, cores := range Fig2Cores() {
+			m := metrics[[2]int{cores, kb}].m
+			edp := m.CoresW / (m.IPS * m.IPS)
+			if edp < best {
+				best, bestCores = edp, cores
+			}
+		}
+		markChoice(res.Points, bestCores, kb, false)
+	}
+	return res, nil
+}
+
+func markChoice(points []Fig2Point, cores, kb int, cacheChoice bool) {
+	for i := range points {
+		if points[i].Cores == cores && points[i].CacheKB == kb {
+			if cacheChoice {
+				points[i].CacheChoice = true
+			} else {
+				points[i].CoreChoice = true
+			}
+			return
+		}
+	}
+}
+
+// markPareto flags the Pareto-optimal points: maximal IPS, minimal
+// energy.
+func markPareto(points []Fig2Point) {
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := points[idx[a]], points[idx[b]]
+		if pa.EnergyJ != pb.EnergyJ {
+			return pa.EnergyJ < pb.EnergyJ
+		}
+		return pa.IPS > pb.IPS
+	})
+	bestIPS := math.Inf(-1)
+	for _, i := range idx {
+		if points[i].IPS > bestIPS {
+			points[i].Pareto = true
+			bestIPS = points[i].IPS
+		}
+	}
+}
+
+// OffFrontier lists the closed-system choices that are NOT on the global
+// Pareto frontier — the paper's point: local optimality composes into
+// global sub-optimality.
+func (r Fig2Result) OffFrontier() (cacheOnly, coreOnly []Fig2Point) {
+	for _, pt := range r.Points {
+		if pt.CacheChoice && !pt.Pareto {
+			cacheOnly = append(cacheOnly, pt)
+		}
+		if pt.CoreChoice && !pt.Pareto {
+			coreOnly = append(coreOnly, pt)
+		}
+	}
+	return cacheOnly, coreOnly
+}
+
+// String renders the scatter as a table (energy ascending).
+func (r Fig2Result) String() string {
+	pts := make([]Fig2Point, len(r.Points))
+	copy(pts, r.Points)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].EnergyJ < pts[j].EnergyJ })
+	out := "Figure 2: efficiency of closed adaptive systems (barnes, trace-driven sim)\n"
+	out += fmt.Sprintf("%-6s %-8s %12s %12s %8s %8s %8s\n",
+		"cores", "cacheKB", "energy(J)", "IPS", "pareto", "cacheopt", "coreopt")
+	for _, pt := range pts {
+		out += fmt.Sprintf("%-6d %-8d %12.4f %12.3e %8v %8v %8v\n",
+			pt.Cores, pt.CacheKB, pt.EnergyJ, pt.IPS, pt.Pareto, pt.CacheChoice, pt.CoreChoice)
+	}
+	cacheOff, coreOff := r.OffFrontier()
+	out += fmt.Sprintf("closed-system choices off the Pareto frontier: cache-only %d/%d, core-only %d/%d\n",
+		len(cacheOff), len(Fig2Cores()), len(coreOff), len(Fig2Caches()))
+	return out
+}

@@ -1,0 +1,400 @@
+// Package experiment regenerates every table and figure in the paper's
+// evaluation (§5) from the models in this repository: Figure 2 (closed
+// adaptive systems compose badly), Figure 3 (SEEC vs. baselines on the
+// Linux/x86 server), Figure 4 (projection onto a 256-core Angstrom), and
+// the in-text numbers of §5.3.
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"angstrom/internal/actuator"
+	"angstrom/internal/control"
+	"angstrom/internal/core"
+	"angstrom/internal/heartbeat"
+	"angstrom/internal/oracle"
+	"angstrom/internal/sim"
+	"angstrom/internal/workload"
+	"angstrom/internal/xeon"
+)
+
+// Fig3Options control the §5.2 experiment.
+type Fig3Options struct {
+	// DurationS is the measured run length per benchmark per system.
+	DurationS float64
+	// WarmupS runs each policy before measurement begins, so that a few
+	// seconds of convergence transient do not dominate the averages (the
+	// paper's executions run for minutes; ours are compressed).
+	WarmupS float64
+	// PeriodS is the decision period (1 s ≈ the WattsUp sampling rate).
+	PeriodS float64
+	// Seed drives workload noise.
+	Seed uint64
+}
+
+func (o *Fig3Options) fill() {
+	if o.DurationS == 0 {
+		o.DurationS = 120
+	}
+	if o.WarmupS == 0 {
+		o.WarmupS = 20
+	}
+	if o.PeriodS == 0 {
+		o.PeriodS = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 2012
+	}
+}
+
+// Fig3Row is one benchmark's results: absolute performance-per-Watt for
+// each system (beats/s per Watt beyond idle).
+type Fig3Row struct {
+	Benchmark  string
+	TargetRate float64
+
+	NoAdapt       float64
+	Uncoordinated float64
+	SEEC          float64
+	StaticOracle  float64
+	DynamicOracle float64
+}
+
+// Fig3Result is the full Figure 3 dataset.
+type Fig3Result struct {
+	Rows []Fig3Row
+	// NoAdaptCfg is the single configuration shared by all benchmarks in
+	// the non-adaptive system.
+	NoAdaptCfg xeon.Config
+
+	// Summary ratios (means across benchmarks).
+	SEECOverStatic        float64 // the multiplier §5.3 reuses
+	SEECOverUncoordinated float64
+	SEECOfDynamic         float64 // SEEC / dynamic oracle
+}
+
+// monitorWindow is the heart-rate averaging window used by the runtime:
+// wide enough to suppress per-beat work noise, narrow enough to span a
+// fraction of a decision period at the slowest configurations.
+const monitorWindow = 41
+
+// RunFig3 regenerates Figure 3.
+func RunFig3(opts Fig3Options) (Fig3Result, error) {
+	opts.fill()
+	p := xeon.DefaultParams()
+	specs := workload.Specs()
+	configs := p.Configs()
+
+	// Evaluate the full space per benchmark once (at nominal work), and
+	// once derated to the heaviest phase. Every §5.2 policy is
+	// goal-driven — its job is to meet the application's target — so the
+	// static provisioners must size for the peak: with the windowed
+	// metric an undershot window is performance lost for good.
+	points := make([][]oracle.Point, len(specs))
+	peakPoints := make([][]oracle.Point, len(specs))
+	targets := make([]float64, len(specs))
+	for a, spec := range specs {
+		targets[a] = p.MaxHeartRate(spec) / 2
+		pts := make([]oracle.Point, len(configs))
+		peak := make([]oracle.Point, len(configs))
+		for c, cfg := range configs {
+			m, err := xeon.Evaluate(p, spec, cfg)
+			if err != nil {
+				return Fig3Result{}, err
+			}
+			pts[c] = oracle.Point{Rate: m.HeartRate, Power: m.PowerW - p.IdleW}
+			peak[c] = oracle.Point{Rate: m.HeartRate / (1 + spec.PhaseAmp), Power: pts[c].Power}
+		}
+		points[a] = pts
+		peakPoints[a] = peak
+	}
+	noAdaptIdx := oracle.BestMeetingAll(peakPoints, targets)
+	noAdaptCfg := configs[noAdaptIdx]
+
+	res := Fig3Result{NoAdaptCfg: noAdaptCfg}
+	var sumSEECStatic, sumSEECUnc, sumSEECDyn float64
+	for a, spec := range specs {
+		target := targets[a]
+		seed := opts.Seed + uint64(a)*101
+
+		noAdapt, err := runFixed(p, spec, noAdaptCfg, target, seed, opts)
+		if err != nil {
+			return res, err
+		}
+		// Static oracle: the cheapest configuration that still meets the
+		// target through the heaviest phase — assigning resources once
+		// means provisioning for the peak.
+		staticIdx, _ := oracle.BestMeeting(peakPoints[a], target)
+		static, err := runFixed(p, spec, configs[staticIdx], target, seed, opts)
+		if err != nil {
+			return res, err
+		}
+		dynamic, err := runDynamicOracle(p, spec, configs, points[a], target, seed, opts)
+		if err != nil {
+			return res, err
+		}
+		seec, err := runSEEC(p, spec, target, seed, opts, false)
+		if err != nil {
+			return res, err
+		}
+		unc, err := runSEEC(p, spec, target, seed, opts, true)
+		if err != nil {
+			return res, err
+		}
+
+		res.Rows = append(res.Rows, Fig3Row{
+			Benchmark:  spec.Name,
+			TargetRate: target,
+
+			NoAdapt:       noAdapt,
+			Uncoordinated: unc,
+			SEEC:          seec,
+			StaticOracle:  static,
+			DynamicOracle: dynamic,
+		})
+		sumSEECStatic += seec / static
+		sumSEECUnc += seec / unc
+		sumSEECDyn += seec / dynamic
+	}
+	n := float64(len(res.Rows))
+	res.SEECOverStatic = sumSEECStatic / n
+	res.SEECOverUncoordinated = sumSEECUnc / n
+	res.SEECOfDynamic = sumSEECDyn / n
+	return res, nil
+}
+
+// initialConfig is where every benchmark starts (§5.2: "launched on a
+// single core set to the minimum clock speed").
+func initialConfig(p xeon.Params) xeon.Config {
+	return xeon.Config{Cores: 1, PState: 0, Duty: p.DutyLevels}
+}
+
+// measurement captures §5.2's metric, excluding warmup. One refinement
+// over the paper's wording: "the minimum of the achieved and desired
+// performance" is applied per sampling window (1 s, the WattsUp period)
+// rather than once to the whole-run mean. For a goal-driven application
+// overshoot in one window cannot compensate undershoot in another — a
+// video encoder alternating 60 and 10 fps is not delivering 35 fps — and
+// without this reading every dynamic policy degenerates to the best
+// static mix under a volume-only phase model (see EXPERIMENTS.md).
+type measurement struct {
+	mon    *heartbeat.Monitor
+	meter  *xeon.PowerMeter
+	active bool
+
+	lapBeats uint64
+	capped   float64 // Σ min(window rate, target) × window
+	elapsed  float64
+	joule0   float64
+}
+
+// start snapshots the counters at the end of warmup.
+func (m *measurement) start() {
+	m.active = true
+	m.lapBeats = m.mon.Count()
+	m.joule0 = m.meter.EnergyJoules()
+}
+
+// lap closes one sampling window of the given length.
+func (m *measurement) lap(target, window float64) {
+	if !m.active {
+		return
+	}
+	beats := m.mon.Count()
+	rate := float64(beats-m.lapBeats) / window
+	m.lapBeats = beats
+	m.capped += math.Min(rate, target) * window
+	m.elapsed += window
+}
+
+// metric is min(achieved, desired) per Watt beyond idle, with the min
+// applied per window as described above.
+func (m *measurement) metric(p xeon.Params, target float64) float64 {
+	if m.elapsed == 0 {
+		return 0
+	}
+	meanRate := m.capped / m.elapsed
+	meanPower := (m.meter.EnergyJoules() - m.joule0) / m.elapsed
+	return oracle.Metric(oracle.Point{Rate: meanRate, Power: meanPower - p.IdleW}, target)
+}
+
+// runFixed measures perf/Watt for a fixed configuration.
+func runFixed(p xeon.Params, spec workload.Spec, cfg xeon.Config, target float64, seed uint64, opts Fig3Options) (float64, error) {
+	clock := sim.NewClock(0)
+	srv, err := xeon.NewServer(p, cfg, clock)
+	if err != nil {
+		return 0, err
+	}
+	mon := heartbeat.New(clock, heartbeat.WithEnergyMeter(srv.Meter), heartbeat.WithWindow(monitorWindow))
+	srv.Attach(workload.NewInstance(spec, seed), mon)
+	meas := measurement{mon: mon, meter: srv.Meter}
+	warm := int(opts.WarmupS / opts.PeriodS)
+	steps := int(opts.DurationS / opts.PeriodS)
+	for i := 0; i < warm+steps; i++ {
+		if i == warm {
+			meas.start()
+		}
+		if _, err := srv.RunInterval(opts.PeriodS); err != nil {
+			return 0, err
+		}
+		meas.lap(target, opts.PeriodS)
+	}
+	return meas.metric(p, target), nil
+}
+
+// runDynamicOracle reconfigures every interval with perfect knowledge of
+// the next interval's phase. The paper's oracle re-selects "at every
+// heartbeat", i.e. orders of magnitude finer than our decision period;
+// the continuum limit of per-heartbeat switching is the minimum-power
+// fractional schedule over the configuration hull, which is what we
+// execute (two sub-slices per interval).
+func runDynamicOracle(p xeon.Params, spec workload.Spec, configs []xeon.Config, pts []oracle.Point, target float64, seed uint64, opts Fig3Options) (float64, error) {
+	clock := sim.NewClock(0)
+	srv, err := xeon.NewServer(p, initialConfig(p), clock)
+	if err != nil {
+		return 0, err
+	}
+	mon := heartbeat.New(clock, heartbeat.WithEnergyMeter(srv.Meter), heartbeat.WithWindow(monitorWindow))
+	srv.Attach(workload.NewInstance(spec, seed), mon)
+	meas := measurement{mon: mon, meter: srv.Meter}
+	warm := int(opts.WarmupS / opts.PeriodS)
+	steps := int(opts.DurationS / opts.PeriodS)
+	cands := make([]control.Candidate, len(pts))
+	for i := 0; i < warm+steps; i++ {
+		if i == warm {
+			meas.start()
+		}
+		w := spec.WorkAt(srv.BeatCount()) // perfect knowledge of the next phase
+		for c := range pts {
+			cands[c] = control.Candidate{ID: c, Speedup: pts[c].Rate / w, Power: pts[c].Power}
+		}
+		tr, err := control.NewTranslator(cands)
+		if err != nil {
+			return 0, err
+		}
+		sch := tr.Translate(target)
+		slices := []struct {
+			cfg xeon.Config
+			dur float64
+		}{
+			{configs[sch.Lo.ID], opts.PeriodS * (1 - sch.HiFrac)},
+			{configs[sch.Hi.ID], opts.PeriodS * sch.HiFrac},
+		}
+		for _, sl := range slices {
+			if sl.dur <= 0 {
+				continue
+			}
+			if err := srv.SetConfig(sl.cfg); err != nil {
+				return 0, err
+			}
+			if _, err := srv.RunInterval(sl.dur); err != nil {
+				return 0, err
+			}
+		}
+		meas.lap(target, opts.PeriodS)
+	}
+	return meas.metric(p, target), nil
+}
+
+// runSEEC measures the SEEC runtime (coordinated) or the uncoordinated
+// multi-runtime baseline.
+func runSEEC(p xeon.Params, spec workload.Spec, target float64, seed uint64, opts Fig3Options, uncoordinated bool) (float64, error) {
+	clock := sim.NewClock(0)
+	srv, err := xeon.NewServer(p, initialConfig(p), clock)
+	if err != nil {
+		return 0, err
+	}
+	mon := heartbeat.New(clock, heartbeat.WithEnergyMeter(srv.Meter), heartbeat.WithWindow(monitorWindow))
+	srv.Attach(workload.NewInstance(spec, seed), mon)
+	mon.SetPerformanceGoal(target*0.98, target*1.02)
+
+	acts, err := srv.Actuators()
+	if err != nil {
+		return 0, err
+	}
+	space, err := actuator.NewSpace(acts...)
+	if err != nil {
+		return 0, err
+	}
+	ropts := core.Options{
+		Pole:    0.4,
+		KalmanQ: (0.03 * target) * (0.03 * target),
+		KalmanR: (0.02 * target) * (0.02 * target),
+	}
+	meas := measurement{mon: mon, meter: srv.Meter}
+	warm := int(opts.WarmupS / opts.PeriodS)
+	steps := int(opts.DurationS / opts.PeriodS)
+	if uncoordinated {
+		u, err := core.NewUncoordinated(spec.Name, clock, mon, space, ropts)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < warm+steps; i++ {
+			if i == warm {
+				meas.start()
+			}
+			cfg, _, err := u.Step()
+			if err != nil {
+				return 0, err
+			}
+			if err := space.Apply(cfg); err != nil {
+				return 0, err
+			}
+			if _, err := srv.RunInterval(opts.PeriodS); err != nil {
+				return 0, err
+			}
+			meas.lap(target, opts.PeriodS)
+		}
+	} else {
+		rt, err := core.New(spec.Name, clock, mon, space, ropts)
+		if err != nil {
+			return 0, err
+		}
+		for i := 0; i < warm+steps; i++ {
+			if i == warm {
+				meas.start()
+			}
+			d, err := rt.Step()
+			if err != nil {
+				return 0, err
+			}
+			for _, sl := range d.Slices(opts.PeriodS) {
+				if err := space.Apply(sl.Cfg); err != nil {
+					return 0, err
+				}
+				if _, err := srv.RunInterval(sl.Duration); err != nil {
+					return 0, err
+				}
+			}
+			meas.lap(target, opts.PeriodS)
+		}
+	}
+	return meas.metric(p, target), nil
+}
+
+// String renders the figure as the paper presents it: bars normalized to
+// the dynamic oracle.
+func (r Fig3Result) String() string {
+	out := "Figure 3: SEEC on a Linux/x86 system (perf/Watt normalized to dynamic oracle)\n"
+	out += fmt.Sprintf("non-adaptive config: %d cores, %d th P-state, duty %d\n",
+		r.NoAdaptCfg.Cores, r.NoAdaptCfg.PState, r.NoAdaptCfg.Duty)
+	out += fmt.Sprintf("%-10s %9s %8s %8s %8s %8s %8s\n",
+		"benchmark", "target/s", "no-adapt", "uncoord", "SEEC", "static", "dynamic")
+	for _, row := range r.Rows {
+		d := row.DynamicOracle
+		norm := func(v float64) float64 {
+			if d == 0 {
+				return 0
+			}
+			return v / d
+		}
+		out += fmt.Sprintf("%-10s %9.1f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			row.Benchmark, row.TargetRate,
+			norm(row.NoAdapt), norm(row.Uncoordinated), norm(row.SEEC),
+			norm(row.StaticOracle), 1.0)
+	}
+	out += fmt.Sprintf("mean SEEC/static = %.3f   mean SEEC/uncoordinated = %.3f   mean SEEC/dynamic = %.3f\n",
+		r.SEECOverStatic, r.SEECOverUncoordinated, r.SEECOfDynamic)
+	return out
+}

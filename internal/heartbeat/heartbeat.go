@@ -1,0 +1,227 @@
+// Package heartbeat implements the Application Heartbeats API described
+// in §3.1 of the paper (and in Hoffmann et al., ICAC 2010): applications
+// emit heartbeats at semantically important intervals and declare goals
+// (performance, accuracy, power, energy) in terms of those heartbeats;
+// every other component of the system — most importantly the SEEC runtime
+// in internal/core — observes progress toward the goals through a second,
+// read-only interface.
+//
+// The API is deliberately split in two:
+//
+//   - the *application* side: Beat, BeatTagged, BeatWithAccuracy, and the
+//     Set*Goal functions;
+//   - the *observer* side: Observe and Goals, used by runtime deciders.
+package heartbeat
+
+import (
+	"fmt"
+	"sync"
+
+	"angstrom/internal/sim"
+)
+
+// Record is one emitted heartbeat.
+type Record struct {
+	Seq        uint64   // sequence number, starting at 1
+	Tag        uint64   // application tag (0 if untagged)
+	Time       sim.Time // simulated timestamp of emission
+	Latency    float64  // seconds since the previous beat (0 for the first)
+	Rate       float64  // instantaneous rate = 1/Latency (0 for the first)
+	Distortion float64  // accuracy distortion reported with this beat
+	EnergyJ    float64  // cumulative energy reading at emission, if a meter is attached
+}
+
+// EnergyMeter supplies cumulative energy readings so that energy and power
+// goals can be evaluated between beats. The Angstrom energy sensors and
+// the WattsUp model both satisfy this.
+type EnergyMeter interface {
+	EnergyJoules() float64
+}
+
+// Monitor is the per-application heartbeat buffer. One Monitor exists per
+// instrumented application; it holds a ring of recent Records plus the
+// application's declared goals.
+//
+// Monitor is safe for concurrent use: the application beats from its own
+// goroutine while observers read from the runtime's.
+type Monitor struct {
+	mu     sync.Mutex
+	clock  sim.Nower
+	meter  EnergyMeter // optional
+	window int
+	ring   []Record // circular buffer of the last `window` beats
+	count  uint64   // total beats ever emitted
+	first  sim.Time // time of first beat
+	goals  Goals
+}
+
+// DefaultWindow is the heart-rate averaging window (in beats) used when
+// the caller does not specify one. Twenty beats matches the smoothing used
+// in the Application Heartbeats reference implementation.
+const DefaultWindow = 20
+
+// Option configures a Monitor.
+type Option func(*Monitor)
+
+// WithWindow sets the averaging window, in beats.
+func WithWindow(n int) Option {
+	return func(m *Monitor) { m.window = n }
+}
+
+// WithEnergyMeter attaches a cumulative energy source, enabling power and
+// energy goal observation.
+func WithEnergyMeter(e EnergyMeter) Option {
+	return func(m *Monitor) { m.meter = e }
+}
+
+// New creates a Monitor that timestamps beats from clock.
+func New(clock sim.Nower, opts ...Option) *Monitor {
+	m := &Monitor{clock: clock, window: DefaultWindow}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.window < 2 {
+		panic(fmt.Sprintf("heartbeat: window %d too small (need >= 2)", m.window))
+	}
+	m.ring = make([]Record, 0, m.window)
+	return m
+}
+
+// Beat emits an untagged heartbeat with zero distortion.
+func (m *Monitor) Beat() { m.emit(0, 0) }
+
+// BeatTagged emits a heartbeat carrying an application tag. Tags delimit
+// latency and energy goals ("target latency between specially tagged
+// heartbeats", §3.1).
+func (m *Monitor) BeatTagged(tag uint64) { m.emit(tag, 0) }
+
+// BeatWithAccuracy emits a heartbeat reporting the distortion (linear
+// distance from the application-defined nominal value, §3.1) of the work
+// completed since the previous beat.
+func (m *Monitor) BeatWithAccuracy(distortion float64) { m.emit(0, distortion) }
+
+func (m *Monitor) emit(tag uint64, distortion float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.clock.Now()
+	rec := Record{
+		Seq:        m.count + 1,
+		Tag:        tag,
+		Time:       now,
+		Distortion: distortion,
+	}
+	if m.meter != nil {
+		rec.EnergyJ = m.meter.EnergyJoules()
+	}
+	if m.count == 0 {
+		m.first = now
+	} else {
+		prev := m.last()
+		rec.Latency = now - prev.Time
+		if rec.Latency > 0 {
+			rec.Rate = 1 / rec.Latency
+		}
+	}
+	if len(m.ring) < m.window {
+		m.ring = append(m.ring, rec)
+	} else {
+		copy(m.ring, m.ring[1:])
+		m.ring[len(m.ring)-1] = rec
+	}
+	m.count++
+}
+
+// last returns the most recent record; caller holds m.mu and has checked
+// m.count > 0.
+func (m *Monitor) last() Record { return m.ring[len(m.ring)-1] }
+
+// Count reports the total number of beats emitted so far.
+func (m *Monitor) Count() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.count
+}
+
+// Observation is a consistent snapshot of application progress, the
+// observer-side view of §3.1.
+type Observation struct {
+	Beats         uint64  // total beats emitted
+	WindowRate    float64 // beats/s over the averaging window
+	GlobalRate    float64 // beats/s since the first beat
+	InstantRate   float64 // rate implied by the most recent inter-beat gap
+	WindowLatency float64 // mean inter-beat latency over the window, seconds
+	Distortion    float64 // mean distortion over the window
+	PowerW        float64 // mean power over the window (0 if no meter)
+	LastTime      sim.Time
+}
+
+// Observe returns the current snapshot. With fewer than two beats the
+// rates are zero.
+func (m *Monitor) Observe() Observation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var o Observation
+	o.Beats = m.count
+	if len(m.ring) == 0 {
+		return o
+	}
+	newest := m.last()
+	o.LastTime = newest.Time
+	if m.count >= 2 {
+		oldest := m.ring[0]
+		span := newest.Time - oldest.Time
+		nIntervals := float64(len(m.ring) - 1)
+		if span > 0 && nIntervals > 0 {
+			o.WindowRate = nIntervals / span
+			o.WindowLatency = span / nIntervals
+		}
+		if meterSpan := newest.EnergyJ - oldest.EnergyJ; span > 0 && m.meter != nil {
+			o.PowerW = meterSpan / span
+		}
+		o.InstantRate = newest.Rate
+		total := newest.Time - m.first
+		if total > 0 {
+			o.GlobalRate = float64(m.count-1) / total
+		}
+	}
+	sum := 0.0
+	for _, r := range m.ring {
+		sum += r.Distortion
+	}
+	o.Distortion = sum / float64(len(m.ring))
+	return o
+}
+
+// Window returns a copy of the current ring contents, oldest first.
+func (m *Monitor) Window() []Record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Record, len(m.ring))
+	copy(out, m.ring)
+	return out
+}
+
+// TaggedSpan reports the elapsed time and energy between the most recent
+// beat tagged `end` and the closest preceding beat tagged `start` inside
+// the window. ok is false if the window does not contain such a pair.
+func (m *Monitor) TaggedSpan(start, end uint64) (seconds, joules float64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	endIdx := -1
+	for i := len(m.ring) - 1; i >= 0; i-- {
+		if m.ring[i].Tag == end {
+			endIdx = i
+			break
+		}
+	}
+	if endIdx < 0 {
+		return 0, 0, false
+	}
+	for i := endIdx - 1; i >= 0; i-- {
+		if m.ring[i].Tag == start {
+			return m.ring[endIdx].Time - m.ring[i].Time,
+				m.ring[endIdx].EnergyJ - m.ring[i].EnergyJ, true
+		}
+	}
+	return 0, 0, false
+}

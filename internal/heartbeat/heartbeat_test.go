@@ -1,0 +1,314 @@
+package heartbeat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"angstrom/internal/sim"
+)
+
+// fakeMeter is a settable cumulative energy source.
+type fakeMeter struct{ joules float64 }
+
+func (f *fakeMeter) EnergyJoules() float64 { return f.joules }
+
+func TestFirstBeatHasNoRate(t *testing.T) {
+	c := sim.NewClock(0)
+	m := New(c)
+	m.Beat()
+	w := m.Window()
+	if len(w) != 1 {
+		t.Fatalf("window length = %d, want 1", len(w))
+	}
+	if w[0].Rate != 0 || w[0].Latency != 0 {
+		t.Fatalf("first beat rate/latency = %g/%g, want 0/0", w[0].Rate, w[0].Latency)
+	}
+	if w[0].Seq != 1 {
+		t.Fatalf("first Seq = %d, want 1", w[0].Seq)
+	}
+}
+
+func TestSteadyRateMeasured(t *testing.T) {
+	c := sim.NewClock(0)
+	m := New(c)
+	// 10 beats/s for 3 seconds.
+	for i := 0; i < 30; i++ {
+		c.Advance(0.1)
+		m.Beat()
+	}
+	obs := m.Observe()
+	if math.Abs(obs.WindowRate-10) > 1e-9 {
+		t.Fatalf("WindowRate = %g, want 10", obs.WindowRate)
+	}
+	if math.Abs(obs.InstantRate-10) > 1e-9 {
+		t.Fatalf("InstantRate = %g, want 10", obs.InstantRate)
+	}
+	if math.Abs(obs.WindowLatency-0.1) > 1e-9 {
+		t.Fatalf("WindowLatency = %g, want 0.1", obs.WindowLatency)
+	}
+}
+
+func TestWindowRateTracksRecentNotGlobal(t *testing.T) {
+	c := sim.NewClock(0)
+	m := New(c, WithWindow(5))
+	// Slow phase: 1 beat/s for 10 beats.
+	for i := 0; i < 10; i++ {
+		c.Advance(1.0)
+		m.Beat()
+	}
+	// Fast phase: 100 beats/s for 10 beats, more than fills the window.
+	for i := 0; i < 10; i++ {
+		c.Advance(0.01)
+		m.Beat()
+	}
+	obs := m.Observe()
+	if math.Abs(obs.WindowRate-100) > 1e-6 {
+		t.Fatalf("WindowRate = %g, want 100 (window must forget the slow phase)", obs.WindowRate)
+	}
+	if obs.GlobalRate > 5 {
+		t.Fatalf("GlobalRate = %g, want < 5 (dominated by the slow phase)", obs.GlobalRate)
+	}
+}
+
+func TestRingNeverExceedsWindow(t *testing.T) {
+	f := func(nBeats uint8) bool {
+		c := sim.NewClock(0)
+		m := New(c, WithWindow(7))
+		for i := 0; i < int(nBeats); i++ {
+			c.Advance(0.5)
+			m.Beat()
+		}
+		w := m.Window()
+		if len(w) > 7 {
+			return false
+		}
+		// Sequence numbers in the window must be consecutive and end at Count.
+		for i := 1; i < len(w); i++ {
+			if w[i].Seq != w[i-1].Seq+1 {
+				return false
+			}
+		}
+		return int(m.Count()) == int(nBeats)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObservePowerFromMeter(t *testing.T) {
+	c := sim.NewClock(0)
+	meter := &fakeMeter{}
+	m := New(c, WithEnergyMeter(meter))
+	for i := 0; i < 10; i++ {
+		c.Advance(1.0)
+		meter.joules += 50 // 50 W
+		m.Beat()
+	}
+	obs := m.Observe()
+	if math.Abs(obs.PowerW-50) > 1e-9 {
+		t.Fatalf("PowerW = %g, want 50", obs.PowerW)
+	}
+}
+
+func TestTaggedSpan(t *testing.T) {
+	c := sim.NewClock(0)
+	meter := &fakeMeter{}
+	m := New(c, WithEnergyMeter(meter))
+	m.BeatTagged(1) // start at t=0, E=0
+	c.Advance(2.5)
+	meter.joules = 100
+	m.Beat()
+	c.Advance(2.5)
+	meter.joules = 250
+	m.BeatTagged(2) // end at t=5, E=250
+	sec, joules, ok := m.TaggedSpan(1, 2)
+	if !ok {
+		t.Fatal("TaggedSpan did not find the tag pair")
+	}
+	if math.Abs(sec-5) > 1e-9 || math.Abs(joules-250) > 1e-9 {
+		t.Fatalf("TaggedSpan = (%g s, %g J), want (5, 250)", sec, joules)
+	}
+}
+
+func TestTaggedSpanMissingTags(t *testing.T) {
+	c := sim.NewClock(0)
+	m := New(c)
+	m.Beat()
+	c.Advance(1)
+	m.BeatTagged(2)
+	if _, _, ok := m.TaggedSpan(1, 2); ok {
+		t.Fatal("TaggedSpan reported ok without a start tag present")
+	}
+	if _, _, ok := m.TaggedSpan(2, 9); ok {
+		t.Fatal("TaggedSpan reported ok without an end tag present")
+	}
+}
+
+func TestDistortionAveraged(t *testing.T) {
+	c := sim.NewClock(0)
+	m := New(c, WithWindow(4))
+	for _, d := range []float64{0.1, 0.2, 0.3, 0.4} {
+		c.Advance(1)
+		m.BeatWithAccuracy(d)
+	}
+	obs := m.Observe()
+	if math.Abs(obs.Distortion-0.25) > 1e-12 {
+		t.Fatalf("Distortion = %g, want 0.25", obs.Distortion)
+	}
+}
+
+func TestPerformanceGoalCheck(t *testing.T) {
+	c := sim.NewClock(0)
+	m := New(c)
+	m.SetPerformanceGoal(9, 11)
+	for i := 0; i < 25; i++ {
+		c.Advance(0.1) // 10 beats/s: inside the band
+		m.Beat()
+	}
+	s := m.Check()
+	if !s.PerformanceSet || !s.PerformanceMet {
+		t.Fatalf("performance goal not met at 10 beats/s with band [9,11]: %+v", s)
+	}
+	if !s.AllMet() {
+		t.Fatal("AllMet() = false with only a satisfied performance goal")
+	}
+}
+
+func TestPerformanceGoalViolated(t *testing.T) {
+	c := sim.NewClock(0)
+	m := New(c)
+	m.SetPerformanceGoal(20, 0) // at least 20 beats/s, no cap
+	for i := 0; i < 25; i++ {
+		c.Advance(0.1) // only 10 beats/s
+		m.Beat()
+	}
+	s := m.Check()
+	if s.PerformanceMet {
+		t.Fatal("performance goal reported met at half the target rate")
+	}
+	if s.AllMet() {
+		t.Fatal("AllMet() = true with violated performance goal")
+	}
+}
+
+func TestPerformanceGoalTarget(t *testing.T) {
+	g := PerformanceGoal{MinRate: 10, MaxRate: 30}
+	if got := g.Target(); got != 20 {
+		t.Fatalf("Target() = %g, want 20 (band midpoint)", got)
+	}
+	open := PerformanceGoal{MinRate: 10}
+	if got := open.Target(); got != 10 {
+		t.Fatalf("Target() = %g, want 10 (half-open band)", got)
+	}
+}
+
+func TestInvertedBandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted band did not panic")
+		}
+	}()
+	New(sim.NewClock(0)).SetPerformanceGoal(10, 5)
+}
+
+func TestAccuracyAndPowerGoals(t *testing.T) {
+	c := sim.NewClock(0)
+	meter := &fakeMeter{}
+	m := New(c, WithEnergyMeter(meter))
+	m.SetAccuracyGoal(0.5)
+	m.SetPowerGoal(80, 5)
+	for i := 0; i < 25; i++ {
+		c.Advance(0.1)
+		meter.joules += 7 // 70 W
+		m.BeatWithAccuracy(0.2)
+	}
+	s := m.Check()
+	if !s.AccuracyMet {
+		t.Fatalf("accuracy goal (0.2 <= 0.5) not met: %+v", s)
+	}
+	if !s.PowerMet {
+		t.Fatalf("power goal (70 W <= 80 W at 10 beats/s >= 5) not met: %+v", s)
+	}
+}
+
+func TestEnergyGoalCheck(t *testing.T) {
+	c := sim.NewClock(0)
+	meter := &fakeMeter{}
+	m := New(c, WithEnergyMeter(meter))
+	m.SetEnergyGoal(1, 2, 100)
+	m.BeatTagged(1)
+	c.Advance(1)
+	meter.joules = 60
+	m.BeatTagged(2)
+	if s := m.Check(); !s.EnergySet || !s.EnergyMet {
+		t.Fatalf("energy goal (60 J <= 100 J) not met: %+v", s)
+	}
+	m.SetEnergyGoal(1, 2, 10)
+	if s := m.Check(); s.EnergyMet {
+		t.Fatal("energy goal (60 J <= 10 J) incorrectly met")
+	}
+}
+
+func TestLatencyGoalCheck(t *testing.T) {
+	c := sim.NewClock(0)
+	m := New(c)
+	m.SetLatencyGoal(1, 2, 3.0)
+	m.BeatTagged(1)
+	c.Advance(2)
+	m.BeatTagged(2)
+	if s := m.Check(); !s.LatencyMet {
+		t.Fatalf("latency goal (2 s <= 3 s) not met: %+v", s)
+	}
+}
+
+func TestGoalsReturnsCopies(t *testing.T) {
+	c := sim.NewClock(0)
+	m := New(c)
+	m.SetPerformanceGoal(5, 15)
+	g := m.Goals()
+	g.Performance.MinRate = 999 // mutate the copy
+	if m.Goals().Performance.MinRate != 5 {
+		t.Fatal("observer mutated the application's goal through Goals()")
+	}
+}
+
+func TestRegistryEnrollLookupWithdraw(t *testing.T) {
+	r := NewRegistry()
+	m := New(sim.NewClock(0))
+	if err := r.Enroll("barnes", m); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	if err := r.Enroll("barnes", m); err == nil {
+		t.Fatal("duplicate Enroll did not error")
+	}
+	if got, ok := r.Lookup("barnes"); !ok || got != m {
+		t.Fatal("Lookup failed after Enroll")
+	}
+	if err := r.Enroll("ocean", New(sim.NewClock(0))); err != nil {
+		t.Fatalf("Enroll second app: %v", err)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "barnes" || names[1] != "ocean" {
+		t.Fatalf("Names() = %v, want [barnes ocean]", names)
+	}
+	r.Withdraw("barnes")
+	if _, ok := r.Lookup("barnes"); ok {
+		t.Fatal("Lookup succeeded after Withdraw")
+	}
+}
+
+func TestEnrollNilMonitorErrors(t *testing.T) {
+	if err := NewRegistry().Enroll("x", nil); err == nil {
+		t.Fatal("Enroll(nil) did not error")
+	}
+}
+
+func TestTinyWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("window of 1 did not panic")
+		}
+	}()
+	New(sim.NewClock(0), WithWindow(1))
+}

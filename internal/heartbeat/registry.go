@@ -1,0 +1,64 @@
+package heartbeat
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is the system-wide directory of instrumented applications. The
+// SEEC runtime discovers applications (and their goals) here, exactly as
+// the reference Heartbeats implementation exposes enrolled applications
+// through a shared-memory directory.
+type Registry struct {
+	mu   sync.Mutex
+	apps map[string]*Monitor
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{apps: make(map[string]*Monitor)}
+}
+
+// Enroll registers an application's monitor under name. Enrolling the
+// same name twice is a caller bug and returns an error.
+func (r *Registry) Enroll(name string, m *Monitor) error {
+	if m == nil {
+		return fmt.Errorf("heartbeat: enroll %q with nil monitor", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.apps[name]; dup {
+		return fmt.Errorf("heartbeat: %q already enrolled", name)
+	}
+	r.apps[name] = m
+	return nil
+}
+
+// Withdraw removes an application, e.g. at exit.
+func (r *Registry) Withdraw(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.apps, name)
+}
+
+// Lookup returns the monitor for name.
+func (r *Registry) Lookup(name string) (*Monitor, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.apps[name]
+	return m, ok
+}
+
+// Names returns the enrolled application names, sorted for deterministic
+// iteration.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.apps))
+	for n := range r.apps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

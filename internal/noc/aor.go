@@ -1,0 +1,92 @@
+package noc
+
+import "sort"
+
+// OptimizeAOR recomputes the routing table for the current flow matrix,
+// implementing application-aware oblivious routing [22] online: for each
+// flow, in descending demand order, pick whichever of the two
+// dimension-ordered paths (XY on VC0, YX on VC1 — the O1TURN split that
+// keeps the network deadlock-free) minimizes the worst link load that
+// the flow's own traffic sees. Two refinement passes let early (heavy)
+// flows react to the placement of later ones.
+//
+// This is the "online routing computation by exposing the routing table
+// to software" of §4.2.2: the SEEC runtime calls it when the application
+// (and hence the flow matrix) changes.
+//
+// It returns the resulting worst-link utilization.
+func (m *Mesh) OptimizeAOR() float64 {
+	type flow struct {
+		key  [2]int
+		rate float64
+	}
+	flows := make([]flow, 0, len(m.flows))
+	for k, r := range m.flows {
+		if k[0] != k[1] {
+			flows = append(flows, flow{k, r})
+		}
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].rate != flows[j].rate {
+			return flows[i].rate > flows[j].rate
+		}
+		return flows[i].key[0]*m.n+flows[i].key[1] < flows[j].key[0]*m.n+flows[j].key[1]
+	})
+
+	// Work on a raw load vector: add/remove path loads incrementally.
+	loads := make([]float64, len(m.loads))
+	addPath := func(src, dst int, r Route, rate float64) {
+		m.table[[2]int{src, dst}] = r
+		for _, h := range m.path(src, dst) {
+			loads[m.linkID(h.node, h.dir)] += rate
+		}
+	}
+	removePath := func(src, dst int, rate float64) {
+		for _, h := range m.path(src, dst) {
+			loads[m.linkID(h.node, h.dir)] -= rate
+		}
+	}
+	pathCost := func(src, dst int, r Route, rate float64) float64 {
+		m.table[[2]int{src, dst}] = r
+		worst := 0.0
+		for _, h := range m.path(src, dst) {
+			if l := loads[m.linkID(h.node, h.dir)] + rate; l > worst {
+				worst = l
+			}
+		}
+		return worst
+	}
+
+	// Initial greedy placement.
+	for _, f := range flows {
+		xy := pathCost(f.key[0], f.key[1], RouteXY, f.rate)
+		yx := pathCost(f.key[0], f.key[1], RouteYX, f.rate)
+		if yx < xy {
+			addPath(f.key[0], f.key[1], RouteYX, f.rate)
+		} else {
+			addPath(f.key[0], f.key[1], RouteXY, f.rate)
+		}
+	}
+	// Refinement pass: re-place each flow against the full residual load.
+	for _, f := range flows {
+		cur := m.RouteOf(f.key[0], f.key[1])
+		removePath(f.key[0], f.key[1], f.rate)
+		xy := pathCost(f.key[0], f.key[1], RouteXY, f.rate)
+		yx := pathCost(f.key[0], f.key[1], RouteYX, f.rate)
+		best := RouteXY
+		if yx < xy {
+			best = RouteYX
+		} else if yx == xy {
+			best = cur
+		}
+		addPath(f.key[0], f.key[1], best, f.rate)
+	}
+	m.fresh = false
+	return m.MaxUtilization()
+}
+
+// ResetRoutes restores the default XY routing table.
+func (m *Mesh) ResetRoutes() {
+	m.table = make(map[[2]int]Route)
+	m.fresh = false
+}

@@ -1,0 +1,404 @@
+// Package noc models Angstrom's adaptive on-chip network (§4.2.2): a 2-D
+// mesh with three software-exposed adaptations:
+//
+//   - EVC, express virtual channels [8]: flits moving straight through a
+//     router bypass buffering and arbitration, cutting both latency and
+//     buffer energy on non-turning hops;
+//   - BAN, bandwidth-adaptive networks [9]: each pair of opposing
+//     unidirectional links is backed by bidirectional wires whose
+//     capacity a hardware allocator splits between the two directions,
+//     with the split policy exposed to software;
+//   - AOR, application-aware oblivious routing [22]: per-(source,
+//     destination) routing-table entries choose between the two
+//     deadlock-free dimension-ordered paths (XY or YX, kept on disjoint
+//     virtual channels as in O1TURN) to minimize the worst link load for
+//     the application's measured flow matrix. The routing table is
+//     memory-mapped, so the SEEC runtime can recompute routes online.
+//
+// The model is flow-level: traffic is a matrix of long-running flows,
+// link contention follows an M/M/1-style queueing approximation, and
+// per-flit energy is accounted per pipeline stage. This is the right
+// granularity for the chip simulator (which needs latencies and energies
+// as functions of configuration), while the unit tests pin down the
+// relative effects the paper's citations report.
+package noc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Direction of a link out of a router.
+type Direction int
+
+// The four mesh directions.
+const (
+	East Direction = iota
+	West
+	North
+	South
+	numDirs
+)
+
+// Route selects a dimension order for one (src, dst) pair.
+type Route int
+
+// The two deadlock-free dimension-ordered routes.
+const (
+	RouteXY Route = iota
+	RouteYX
+)
+
+// Config describes the network hardware.
+type Config struct {
+	Width, Height int
+	// RouterCycles is the full router pipeline latency per hop
+	// (buffer write + arbitration + switch traversal).
+	RouterCycles float64
+	// LinkCycles is the wire traversal latency per hop.
+	LinkCycles float64
+	// EVC enables express-channel bypass on straight-through hops.
+	EVC bool
+	// EVCCycles is the bypassed router latency on express hops.
+	EVCCycles float64
+	// BAN enables the bandwidth allocator on bidirectional link pairs.
+	BAN bool
+	// LinkBandwidth is flits/cycle per unidirectional link (per
+	// direction without BAN; a pair shares 2× this with BAN).
+	LinkBandwidth float64
+	// BufferPJ, SwitchPJ, LinkPJ are per-flit energies by stage.
+	BufferPJ, SwitchPJ, LinkPJ float64
+}
+
+// DefaultConfig returns a w×h mesh with parameters typical of low-swing
+// 32 nm NoCs (cf. [8]): 3-cycle routers, 1-cycle links, 1 flit/cycle.
+func DefaultConfig(w, h int) Config {
+	return Config{
+		Width: w, Height: h,
+		RouterCycles: 3, LinkCycles: 1,
+		EVCCycles:     1,
+		LinkBandwidth: 1,
+		BufferPJ:      1.5, SwitchPJ: 1.0, LinkPJ: 2.0,
+	}
+}
+
+// Mesh is the network instance: topology, routing table, registered
+// flows and computed link loads.
+type Mesh struct {
+	cfg   Config
+	n     int
+	table map[[2]int]Route // AOR routing table; default XY
+	flows map[[2]int]float64
+
+	loads    []float64 // flits/cycle per directed link
+	capacity []float64 // effective capacity per directed link
+	fresh    bool      // loads/capacity up to date
+}
+
+// NewMesh builds a mesh. Width and height must be positive.
+func NewMesh(cfg Config) (*Mesh, error) {
+	if cfg.Width < 1 || cfg.Height < 1 {
+		return nil, fmt.Errorf("noc: bad mesh %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.LinkBandwidth <= 0 {
+		return nil, fmt.Errorf("noc: non-positive link bandwidth")
+	}
+	n := cfg.Width * cfg.Height
+	m := &Mesh{
+		cfg:   cfg,
+		n:     n,
+		table: make(map[[2]int]Route),
+		flows: make(map[[2]int]float64),
+	}
+	m.loads = make([]float64, n*int(numDirs))
+	m.capacity = make([]float64, n*int(numDirs))
+	return m, nil
+}
+
+// Nodes reports the node count.
+func (m *Mesh) Nodes() int { return m.n }
+
+// Config returns the mesh configuration.
+func (m *Mesh) Config() Config { return m.cfg }
+
+func (m *Mesh) xy(node int) (x, y int) { return node % m.cfg.Width, node / m.cfg.Width }
+
+func (m *Mesh) node(x, y int) int { return y*m.cfg.Width + x }
+
+// Hops is the Manhattan distance between two tiles.
+func (m *Mesh) Hops(src, dst int) int {
+	sx, sy := m.xy(src)
+	dx, dy := m.xy(dst)
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// linkID identifies the directed link leaving node in direction d.
+func (m *Mesh) linkID(node int, d Direction) int { return node*int(numDirs) + int(d) }
+
+// pairID maps a directed link to its undirected wire pair and tells
+// which side it is.
+func (m *Mesh) pair(node int, d Direction) (pairKey [3]int, side int) {
+	x, y := m.xy(node)
+	switch d {
+	case East:
+		return [3]int{x, y, 0}, 0
+	case West:
+		return [3]int{x - 1, y, 0}, 1
+	case North:
+		return [3]int{x, y, 1}, 0
+	default: // South
+		return [3]int{x, y - 1, 1}, 1
+	}
+}
+
+// SetRoute writes one routing-table entry (the software interface AOR
+// exposes).
+func (m *Mesh) SetRoute(src, dst int, r Route) {
+	m.table[[2]int{src, dst}] = r
+	m.fresh = false
+}
+
+// RouteOf reads the routing-table entry (default XY).
+func (m *Mesh) RouteOf(src, dst int) Route {
+	return m.table[[2]int{src, dst}]
+}
+
+// hop is one step of a path.
+type hop struct {
+	node int
+	dir  Direction
+	turn bool // direction differs from the previous hop's
+}
+
+// path expands the dimension-ordered route for (src, dst).
+func (m *Mesh) path(src, dst int) []hop {
+	sx, sy := m.xy(src)
+	dx, dy := m.xy(dst)
+	var hops []hop
+	walkX := func(x, y int) int {
+		for x != dx {
+			d := East
+			step := 1
+			if dx < x {
+				d = West
+				step = -1
+			}
+			hops = append(hops, hop{node: m.node(x, y), dir: d})
+			x += step
+		}
+		return x
+	}
+	walkY := func(x, y int) int {
+		for y != dy {
+			d := North
+			step := 1
+			if dy < y {
+				d = South
+				step = -1
+			}
+			hops = append(hops, hop{node: m.node(x, y), dir: d})
+			y += step
+		}
+		return y
+	}
+	if m.RouteOf(src, dst) == RouteXY {
+		x := walkX(sx, sy)
+		walkY(x, sy)
+	} else {
+		y := walkY(sx, sy)
+		walkX(sx, y)
+	}
+	for i := 1; i < len(hops); i++ {
+		hops[i].turn = hops[i].dir != hops[i-1].dir
+	}
+	return hops
+}
+
+// SetFlow registers (or replaces) a flow's demand in flits/cycle.
+// Zero removes the flow.
+func (m *Mesh) SetFlow(src, dst int, rate float64) error {
+	if src < 0 || src >= m.n || dst < 0 || dst >= m.n {
+		return fmt.Errorf("noc: flow endpoints (%d,%d) outside mesh", src, dst)
+	}
+	if rate < 0 {
+		return fmt.Errorf("noc: negative flow rate %g", rate)
+	}
+	k := [2]int{src, dst}
+	if rate == 0 {
+		delete(m.flows, k)
+	} else {
+		m.flows[k] = rate
+	}
+	m.fresh = false
+	return nil
+}
+
+// ClearFlows drops all registered flows.
+func (m *Mesh) ClearFlows() {
+	m.flows = make(map[[2]int]float64)
+	m.fresh = false
+}
+
+// recompute fills link loads and (BAN-aware) capacities.
+func (m *Mesh) recompute() {
+	if m.fresh {
+		return
+	}
+	for i := range m.loads {
+		m.loads[i] = 0
+	}
+	for k, rate := range m.flows {
+		if k[0] == k[1] {
+			continue
+		}
+		for _, h := range m.path(k[0], k[1]) {
+			m.loads[m.linkID(h.node, h.dir)] += rate
+		}
+	}
+	// Capacity: fixed per direction, or BAN-split by demand.
+	if !m.cfg.BAN {
+		for i := range m.capacity {
+			m.capacity[i] = m.cfg.LinkBandwidth
+		}
+	} else {
+		type sides struct {
+			load [2]float64
+			link [2]int
+		}
+		pairs := make(map[[3]int]*sides)
+		for node := 0; node < m.n; node++ {
+			x, y := m.xy(node)
+			for d := East; d < numDirs; d++ {
+				// Skip links that leave the mesh.
+				if (d == East && x == m.cfg.Width-1) || (d == West && x == 0) ||
+					(d == North && y == m.cfg.Height-1) || (d == South && y == 0) {
+					continue
+				}
+				key, side := m.pair(node, d)
+				p, ok := pairs[key]
+				if !ok {
+					p = &sides{link: [2]int{-1, -1}}
+					pairs[key] = p
+				}
+				id := m.linkID(node, d)
+				p.load[side] = m.loads[id]
+				p.link[side] = id
+			}
+		}
+		for _, p := range pairs {
+			total := p.load[0] + p.load[1]
+			share0 := 0.5
+			if total > 0 {
+				share0 = clamp(p.load[0]/total, 0.1, 0.9)
+			}
+			if p.link[0] >= 0 {
+				m.capacity[p.link[0]] = 2 * m.cfg.LinkBandwidth * share0
+			}
+			if p.link[1] >= 0 {
+				m.capacity[p.link[1]] = 2 * m.cfg.LinkBandwidth * (1 - share0)
+			}
+		}
+	}
+	m.fresh = true
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// utilization of a directed link (load / effective capacity), capped
+// just below saturation for the queueing formula.
+func (m *Mesh) utilization(id int) float64 {
+	cap := m.capacity[id]
+	if cap <= 0 {
+		return 0.99
+	}
+	return math.Min(m.loads[id]/cap, 0.99)
+}
+
+// LatencyCycles is the end-to-end latency of one packet from src to dst
+// under the current flows: per-hop pipeline (with EVC bypass on
+// straight hops), link traversal, and M/M/1-style queueing delay on
+// loaded links. It satisfies the cache.Network interface.
+func (m *Mesh) LatencyCycles(src, dst int) float64 {
+	if src == dst {
+		return 0
+	}
+	m.recompute()
+	total := 0.0
+	hops := m.path(src, dst)
+	for i, h := range hops {
+		router := m.cfg.RouterCycles
+		if m.cfg.EVC && i > 0 && !h.turn {
+			router = m.cfg.EVCCycles
+		}
+		id := m.linkID(h.node, h.dir)
+		util := m.utilization(id)
+		queue := util / (1 - util) / m.capacity[id]
+		total += router + m.cfg.LinkCycles + queue
+	}
+	return total
+}
+
+// EnergyPJPerFlit is the per-flit transport energy from src to dst:
+// every hop pays switch + link; hops that cannot bypass also pay buffer.
+func (m *Mesh) EnergyPJPerFlit(src, dst int) float64 {
+	if src == dst {
+		return 0
+	}
+	total := 0.0
+	for i, h := range m.path(src, dst) {
+		e := m.cfg.SwitchPJ + m.cfg.LinkPJ
+		if !(m.cfg.EVC && i > 0 && !h.turn) {
+			e += m.cfg.BufferPJ
+		}
+		total += e
+	}
+	return total
+}
+
+// MaxUtilization reports the worst directed-link load/capacity ratio
+// under the current flows — the quantity AOR minimizes. Unlike the
+// queueing model, it is not capped: values above 1 mean an oversubscribed
+// link.
+func (m *Mesh) MaxUtilization() float64 {
+	m.recompute()
+	worst := 0.0
+	for id := range m.loads {
+		if m.loads[id] == 0 || m.capacity[id] <= 0 {
+			continue
+		}
+		if u := m.loads[id] / m.capacity[id]; u > worst {
+			worst = u
+		}
+	}
+	return worst
+}
+
+// AvgFlowLatency is the demand-weighted mean packet latency across all
+// registered flows.
+func (m *Mesh) AvgFlowLatency() float64 {
+	m.recompute()
+	num, den := 0.0, 0.0
+	for k, rate := range m.flows {
+		num += rate * m.LatencyCycles(k[0], k[1])
+		den += rate
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,338 @@
+package noc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustMesh(t *testing.T, cfg Config) *Mesh {
+	t.Helper()
+	m, err := NewMesh(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMeshRejectsBadConfig(t *testing.T) {
+	if _, err := NewMesh(Config{Width: 0, Height: 4, LinkBandwidth: 1}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	cfg := DefaultConfig(4, 4)
+	cfg.LinkBandwidth = 0
+	if _, err := NewMesh(cfg); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestHopsIsManhattan(t *testing.T) {
+	m := mustMesh(t, DefaultConfig(8, 8))
+	if got := m.Hops(0, 63); got != 14 {
+		t.Fatalf("Hops(corner,corner) = %d, want 14", got)
+	}
+	if got := m.Hops(9, 9); got != 0 {
+		t.Fatalf("Hops(self) = %d, want 0", got)
+	}
+	if m.Hops(3, 4) != 1 {
+		t.Fatal("adjacent hops wrong")
+	}
+}
+
+func TestPathReachesDestinationProperty(t *testing.T) {
+	m := mustMesh(t, DefaultConfig(6, 5))
+	f := func(s, d uint8, yx bool) bool {
+		src, dst := int(s)%30, int(d)%30
+		if yx {
+			m.SetRoute(src, dst, RouteYX)
+		} else {
+			m.SetRoute(src, dst, RouteXY)
+		}
+		hops := m.path(src, dst)
+		if len(hops) != m.Hops(src, dst) {
+			return false
+		}
+		// Walk the path and confirm it lands on dst.
+		x, y := m.xy(src)
+		for _, h := range hops {
+			if h.node != m.node(x, y) {
+				return false
+			}
+			switch h.dir {
+			case East:
+				x++
+			case West:
+				x--
+			case North:
+				y++
+			case South:
+				y--
+			}
+			if x < 0 || x >= 6 || y < 0 || y >= 5 {
+				return false // left the mesh
+			}
+		}
+		return m.node(x, y) == dst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXYNeverTurnsFromYToX(t *testing.T) {
+	// Dimension order is what makes XY deadlock-free: once a packet
+	// moves in Y it must never turn back to X.
+	m := mustMesh(t, DefaultConfig(8, 8))
+	for src := 0; src < 64; src += 7 {
+		for dst := 0; dst < 64; dst += 5 {
+			sawY := false
+			for _, h := range m.path(src, dst) {
+				if h.dir == North || h.dir == South {
+					sawY = true
+				} else if sawY {
+					t.Fatalf("XY route %d→%d turned from Y back to X", src, dst)
+				}
+			}
+		}
+	}
+}
+
+func TestYXNeverTurnsFromXToY(t *testing.T) {
+	m := mustMesh(t, DefaultConfig(8, 8))
+	for src := 0; src < 64; src += 7 {
+		for dst := 0; dst < 64; dst += 5 {
+			m.SetRoute(src, dst, RouteYX)
+			sawX := false
+			for _, h := range m.path(src, dst) {
+				if h.dir == East || h.dir == West {
+					sawX = true
+				} else if sawX {
+					t.Fatalf("YX route %d→%d turned from X back to Y", src, dst)
+				}
+			}
+		}
+	}
+}
+
+func TestUnloadedLatencyIsPipelineDepth(t *testing.T) {
+	m := mustMesh(t, DefaultConfig(8, 8))
+	// 0 → 3: 3 straight hops, no EVC: 3 × (3 router + 1 link) = 12.
+	if got := m.LatencyCycles(0, 3); got != 12 {
+		t.Fatalf("latency = %g, want 12", got)
+	}
+	if got := m.LatencyCycles(5, 5); got != 0 {
+		t.Fatalf("self latency = %g, want 0", got)
+	}
+}
+
+func TestEVCReducesStraightLineLatency(t *testing.T) {
+	base := mustMesh(t, DefaultConfig(8, 8))
+	cfg := DefaultConfig(8, 8)
+	cfg.EVC = true
+	evc := mustMesh(t, cfg)
+	// 7 straight hops: EVC bypasses 6 of them.
+	withOut := base.LatencyCycles(0, 7)
+	with := evc.LatencyCycles(0, 7)
+	// 7×4 = 28 vs 4 + 6×2 = 16.
+	if withOut != 28 || with != 16 {
+		t.Fatalf("EVC latency %g vs %g, want 16 vs 28", with, withOut)
+	}
+	// Single hop: no bypass possible.
+	if base.LatencyCycles(0, 1) != evc.LatencyCycles(0, 1) {
+		t.Fatal("EVC changed single-hop latency")
+	}
+}
+
+func TestEVCPaysFullPriceAtTurns(t *testing.T) {
+	cfg := DefaultConfig(8, 8)
+	cfg.EVC = true
+	m := mustMesh(t, cfg)
+	// 0 → 9 via XY: one East hop then one North hop (a turn): both pay
+	// full router latency. 2×4 = 8.
+	if got := m.LatencyCycles(0, 9); got != 8 {
+		t.Fatalf("turning path latency = %g, want 8", got)
+	}
+}
+
+func TestEVCReducesBufferEnergy(t *testing.T) {
+	base := mustMesh(t, DefaultConfig(8, 8))
+	cfg := DefaultConfig(8, 8)
+	cfg.EVC = true
+	evc := mustMesh(t, cfg)
+	if evc.EnergyPJPerFlit(0, 7) >= base.EnergyPJPerFlit(0, 7) {
+		t.Fatal("EVC did not reduce flit energy on a straight path")
+	}
+}
+
+func TestQueueingDelayGrowsWithLoad(t *testing.T) {
+	m := mustMesh(t, DefaultConfig(8, 8))
+	idle := m.LatencyCycles(0, 7)
+	if err := m.SetFlow(0, 7, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	loaded := m.LatencyCycles(0, 7)
+	if loaded <= idle {
+		t.Fatalf("loaded latency %g not above idle %g", loaded, idle)
+	}
+}
+
+func TestSetFlowValidation(t *testing.T) {
+	m := mustMesh(t, DefaultConfig(4, 4))
+	if err := m.SetFlow(-1, 3, 0.1); err == nil {
+		t.Fatal("negative src accepted")
+	}
+	if err := m.SetFlow(0, 99, 0.1); err == nil {
+		t.Fatal("out-of-mesh dst accepted")
+	}
+	if err := m.SetFlow(0, 3, -0.5); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if err := m.SetFlow(0, 3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetFlow(0, 3, 0); err != nil { // removal
+		t.Fatal(err)
+	}
+	if m.MaxUtilization() != 0 {
+		t.Fatal("flow removal left load behind")
+	}
+}
+
+func TestBANShiftsCapacityTowardDemand(t *testing.T) {
+	// Heavy eastbound flow on a single row: with BAN the east direction
+	// borrows west-direction wires, cutting queueing delay.
+	run := func(ban bool) float64 {
+		cfg := DefaultConfig(8, 1)
+		cfg.BAN = ban
+		m := mustMesh(t, cfg)
+		if err := m.SetFlow(0, 7, 0.9); err != nil {
+			t.Fatal(err)
+		}
+		return m.LatencyCycles(0, 7)
+	}
+	without := run(false)
+	with := run(true)
+	if with >= without {
+		t.Fatalf("BAN latency %g not below fixed-link latency %g under asymmetric load", with, without)
+	}
+}
+
+func TestBANDoesNotStarveReverseDirection(t *testing.T) {
+	cfg := DefaultConfig(8, 1)
+	cfg.BAN = true
+	m := mustMesh(t, cfg)
+	if err := m.SetFlow(0, 7, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetFlow(7, 0, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	// The reverse flow must still make progress: share clamp >= 10%.
+	rev := m.LatencyCycles(7, 0)
+	if math.IsInf(rev, 0) || rev <= 0 {
+		t.Fatalf("reverse latency = %g, want finite positive", rev)
+	}
+	m.recompute()
+	for node := 0; node < 7; node++ {
+		id := m.linkID(node+1, West)
+		if m.capacity[id] < 0.2*cfg.LinkBandwidth-1e-12 {
+			t.Fatalf("reverse link capacity %g below clamp", m.capacity[id])
+		}
+	}
+}
+
+func TestAORBalancesAdversarialPattern(t *testing.T) {
+	// Column-convergence traffic: sources along row 0 all target
+	// distinct rows of column 7. Under pure XY every flow funnels up
+	// column 7; routing some flows YX spreads them across their own
+	// columns and rows.
+	m := mustMesh(t, DefaultConfig(8, 8))
+	for i := 1; i < 7; i++ {
+		if err := m.SetFlow(m.node(i, 0), m.node(7, i), 0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	xyWorst := m.MaxUtilization()
+	aorWorst := m.OptimizeAOR()
+	if aorWorst >= xyWorst {
+		t.Fatalf("AOR worst-link %g not below XY %g", aorWorst, xyWorst)
+	}
+	avg := m.AvgFlowLatency()
+	m.ResetRoutes()
+	if m.AvgFlowLatency() <= avg {
+		t.Fatalf("AOR avg latency %g not below XY %g", avg, m.AvgFlowLatency())
+	}
+}
+
+func TestAORKeepsDimensionOrderedPaths(t *testing.T) {
+	// Whatever AOR chooses, every path must still be XY or YX (that is
+	// what keeps routing deadlock-free across the two VC classes).
+	m := mustMesh(t, DefaultConfig(6, 6))
+	for i := 0; i < 36; i += 5 {
+		for j := 1; j < 36; j += 7 {
+			if err := m.SetFlow(i, j, 0.1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	m.OptimizeAOR()
+	for k := range m.flows {
+		hops := m.path(k[0], k[1])
+		turns := 0
+		for _, h := range hops {
+			if h.turn {
+				turns++
+			}
+		}
+		if turns > 1 {
+			t.Fatalf("route %v has %d turns; dimension-ordered routes turn at most once", k, turns)
+		}
+	}
+}
+
+func TestAvgFlowLatencyWeighting(t *testing.T) {
+	m := mustMesh(t, DefaultConfig(8, 1))
+	if m.AvgFlowLatency() != 0 {
+		t.Fatal("empty flow set should have zero average latency")
+	}
+	if err := m.SetFlow(0, 1, 0.1); err != nil { // 1 hop
+		t.Fatal(err)
+	}
+	if err := m.SetFlow(0, 7, 0.1); err != nil { // 7 hops
+		t.Fatal(err)
+	}
+	got := m.AvgFlowLatency()
+	lo := m.LatencyCycles(0, 1)
+	hi := m.LatencyCycles(0, 7)
+	want := (lo + hi) / 2
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("AvgFlowLatency = %g, want %g", got, want)
+	}
+}
+
+func TestEnergyScalesWithDistanceProperty(t *testing.T) {
+	m := mustMesh(t, DefaultConfig(8, 8))
+	f := func(s, d uint8) bool {
+		src, dst := int(s)%64, int(d)%64
+		e := m.EnergyPJPerFlit(src, dst)
+		if src == dst {
+			return e == 0
+		}
+		perHop := m.cfg.BufferPJ + m.cfg.SwitchPJ + m.cfg.LinkPJ
+		return math.Abs(e-float64(m.Hops(src, dst))*perHop) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClearFlows(t *testing.T) {
+	m := mustMesh(t, DefaultConfig(4, 4))
+	if err := m.SetFlow(0, 5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	m.ClearFlows()
+	if m.MaxUtilization() != 0 {
+		t.Fatal("ClearFlows left utilization behind")
+	}
+}

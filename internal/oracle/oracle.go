@@ -1,0 +1,132 @@
+// Package oracle implements the comparison policies of §5.2 as pure
+// selection procedures over evaluated configuration spaces:
+//
+//   - the best *non-adaptive* configuration ("all applications use the
+//     same number of cores and the same clock speed") — the single
+//     configuration with the best average efficiency across applications;
+//   - the *static oracle*, which provisions once per application;
+//   - the *dynamic oracle*, which re-selects every interval with perfect
+//     knowledge of the next interval's workload ("computed after the fact
+//     by post processing empirical data") — the normalization target of
+//     Figure 3.
+//
+// The uncoordinated baseline is not here: it is a composition of SEEC
+// runtimes (core.Uncoordinated), because its defining property is its
+// control structure, not a selection rule.
+package oracle
+
+import "math"
+
+// Point is one configuration's evaluated behaviour for one application:
+// the heart rate it delivers and its power beyond idle.
+type Point struct {
+	Rate  float64
+	Power float64
+}
+
+// Metric is the paper's efficiency measure: min(achieved, target) per
+// Watt beyond idle.
+func Metric(p Point, target float64) float64 {
+	if p.Power <= 0 {
+		return 0
+	}
+	return math.Min(p.Rate, target) / p.Power
+}
+
+// BestMeeting returns the index of the minimum-power point whose rate
+// meets the target. If no point meets it, ok is false and the index of
+// the highest-rate point is returned (the best-effort fallback any real
+// provisioner would take).
+func BestMeeting(points []Point, target float64) (idx int, ok bool) {
+	idx = -1
+	bestPower := math.Inf(1)
+	bestRate := math.Inf(-1)
+	bestRateIdx := -1
+	for i, p := range points {
+		if p.Rate >= target && p.Power < bestPower {
+			idx, bestPower = i, p.Power
+		}
+		if p.Rate > bestRate {
+			bestRate, bestRateIdx = p.Rate, i
+		}
+	}
+	if idx >= 0 {
+		return idx, true
+	}
+	return bestRateIdx, false
+}
+
+// BestMetric returns the index maximizing the paper's efficiency metric
+// for one application (first maximal point wins ties, deterministically).
+func BestMetric(points []Point, target float64) int {
+	best, bestIdx := math.Inf(-1), -1
+	for i, p := range points {
+		if m := Metric(p, target); m > best {
+			best, bestIdx = m, i
+		}
+	}
+	return bestIdx
+}
+
+// BestMeetingAll returns the single configuration that meets every
+// application's target at minimum power — the best *valid* non-adaptive
+// system (§5.2: "all applications use the same number of cores and the
+// same clock speed"; a configuration that misses goals is not doing the
+// job SEEC is being compared on). If no configuration meets all targets,
+// it falls back to the one meeting the most, cheapest first.
+func BestMeetingAll(points [][]Point, targets []float64) int {
+	if len(points) == 0 {
+		return -1
+	}
+	nCfg := len(points[0])
+	bestIdx := -1
+	bestMet := -1
+	bestPower := math.Inf(1)
+	for c := 0; c < nCfg; c++ {
+		met := 0
+		power := 0.0
+		for a := range points {
+			if points[a][c].Rate >= targets[a] {
+				met++
+			}
+			power += points[a][c].Power
+		}
+		if met > bestMet || (met == bestMet && power < bestPower) {
+			bestIdx, bestMet, bestPower = c, met, power
+		}
+	}
+	return bestIdx
+}
+
+// BestAverageAcross returns the configuration index maximizing the mean
+// efficiency metric across applications: points[app][cfg] must be
+// rectangular, targets[app] gives each application's goal. This is the
+// §5.3 non-adaptive selection (the one that lands on 64 cores).
+func BestAverageAcross(points [][]Point, targets []float64) int {
+	if len(points) == 0 {
+		return -1
+	}
+	nCfg := len(points[0])
+	best, bestIdx := math.Inf(-1), -1
+	for c := 0; c < nCfg; c++ {
+		sum := 0.0
+		for a := range points {
+			sum += Metric(points[a][c], targets[a])
+		}
+		if sum > best {
+			best, bestIdx = sum, c
+		}
+	}
+	return bestIdx
+}
+
+// NormalizeTo divides each value by the reference, guarding zeros.
+func NormalizeTo(values []float64, reference float64) []float64 {
+	out := make([]float64, len(values))
+	for i, v := range values {
+		if reference > 0 {
+			out[i] = v / reference
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMetricCapsAtTarget(t *testing.T) {
+	p := Point{Rate: 100, Power: 10}
+	if got := Metric(p, 50); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Metric = %g, want 5 (capped)", got)
+	}
+	if got := Metric(Point{Rate: 20, Power: 10}, 50); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Metric = %g, want 2 (below target)", got)
+	}
+	if Metric(Point{Rate: 5, Power: 0}, 5) != 0 {
+		t.Fatal("zero power must yield 0, not Inf")
+	}
+}
+
+func TestBestMeetingPicksCheapestSufficient(t *testing.T) {
+	pts := []Point{
+		{Rate: 10, Power: 1},
+		{Rate: 55, Power: 4},  // meets, cheapest
+		{Rate: 60, Power: 5},  // meets, pricier
+		{Rate: 90, Power: 12}, // meets, priciest
+	}
+	idx, ok := BestMeeting(pts, 50)
+	if !ok || idx != 1 {
+		t.Fatalf("BestMeeting = (%d,%v), want (1,true)", idx, ok)
+	}
+}
+
+func TestBestMeetingFallsBackToFastest(t *testing.T) {
+	pts := []Point{{Rate: 10, Power: 1}, {Rate: 30, Power: 2}}
+	idx, ok := BestMeeting(pts, 100)
+	if ok || idx != 1 {
+		t.Fatalf("BestMeeting = (%d,%v), want fastest with ok=false", idx, ok)
+	}
+}
+
+func TestBestMetric(t *testing.T) {
+	pts := []Point{
+		{Rate: 40, Power: 10}, // metric 4
+		{Rate: 60, Power: 10}, // capped: 5
+		{Rate: 80, Power: 20}, // capped: 2.5
+	}
+	if got := BestMetric(pts, 50); got != 1 {
+		t.Fatalf("BestMetric = %d, want 1", got)
+	}
+	if BestMetric(nil, 50) != -1 {
+		t.Fatal("empty input must return -1")
+	}
+}
+
+func TestBestAverageAcross(t *testing.T) {
+	// Config 0 is great for app 0, terrible for app 1; config 1 is a
+	// decent compromise and must win on average.
+	points := [][]Point{
+		{{Rate: 100, Power: 10}, {Rate: 80, Power: 10}},
+		{{Rate: 5, Power: 10}, {Rate: 70, Power: 10}},
+	}
+	targets := []float64{100, 100}
+	if got := BestAverageAcross(points, targets); got != 1 {
+		t.Fatalf("BestAverageAcross = %d, want 1", got)
+	}
+	if BestAverageAcross(nil, nil) != -1 {
+		t.Fatal("empty input must return -1")
+	}
+}
+
+func TestBestMeetingOptimalProperty(t *testing.T) {
+	// Property: the chosen config has minimal power among those meeting
+	// the target; when ok=false, nothing meets the target.
+	f := func(raw []struct{ R, P uint8 }, tsel uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pts := make([]Point, len(raw))
+		for i, r := range raw {
+			pts[i] = Point{Rate: float64(r.R), Power: float64(r.P) + 1}
+		}
+		target := float64(tsel)
+		idx, ok := BestMeeting(pts, target)
+		if idx < 0 || idx >= len(pts) {
+			return false
+		}
+		if ok {
+			if pts[idx].Rate < target {
+				return false
+			}
+			for _, p := range pts {
+				if p.Rate >= target && p.Power < pts[idx].Power {
+					return false
+				}
+			}
+		} else {
+			for _, p := range pts {
+				if p.Rate >= target {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestMetricDominatesProperty(t *testing.T) {
+	f := func(raw []struct{ R, P uint8 }, tsel uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		pts := make([]Point, len(raw))
+		for i, r := range raw {
+			pts[i] = Point{Rate: float64(r.R), Power: float64(r.P) + 1}
+		}
+		target := float64(tsel) + 1
+		idx := BestMetric(pts, target)
+		for _, p := range pts {
+			if Metric(p, target) > Metric(pts[idx], target)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeTo(t *testing.T) {
+	got := NormalizeTo([]float64{1, 2, 4}, 4)
+	want := []float64{0.25, 0.5, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NormalizeTo = %v, want %v", got, want)
+		}
+	}
+	if z := NormalizeTo([]float64{1}, 0); z[0] != 0 {
+		t.Fatal("zero reference must yield zeros, not Inf")
+	}
+}
