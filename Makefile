@@ -1,0 +1,29 @@
+# Angstrom/SEEC reproduction — build, verify, and benchmark targets.
+#
+#   make build   compile every package
+#   make vet     static analysis
+#   make test    tier-1 verification (build + full test suite)
+#   make bench   run all benchmarks with allocation stats into bench.out
+#   make bench-json  bench + record the BENCH_<date>.json trajectory file
+
+GO ?= go
+
+.PHONY: build test bench bench-json vet clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem . | tee bench.out
+
+bench-json: bench
+	$(GO) run ./cmd/benchjson bench.out
+
+clean:
+	rm -f bench.out

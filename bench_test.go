@@ -253,6 +253,71 @@ func BenchmarkCoherenceProtocols(b *testing.B) {
 	b.Run("arcc", func(b *testing.B) { run(b, arcc) })
 }
 
+// BenchmarkDetailedAccess measures one warmed coherence-protocol access
+// over the real mesh — the innermost operation of the trace-driven
+// sweep (EvaluateDetailed performs exactly one per trace element). The
+// sharded open-addressing directory, uint64 sharer bitsets, and the
+// mesh's memoized per-pair latency table make the steady state
+// allocation-free; the acceptance gate for this bench is 0 allocs/op.
+func BenchmarkDetailedAccess(b *testing.B) {
+	const tiles = 16
+	newCaches := func() []*cache.Cache {
+		out := make([]*cache.Cache, tiles)
+		for i := range out {
+			c, err := cache.New(64, 8, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out[i] = c
+		}
+		return out
+	}
+	run := func(b *testing.B, p cache.Protocol) {
+		rng := sim.NewRNG(3)
+		access := func(i int) {
+			core := rng.Intn(tiles)
+			var line uint64
+			if i%2 == 0 {
+				line = uint64(rng.Intn(4096)) // shared
+			} else {
+				line = uint64(core*100000 + rng.Intn(256)) // private
+			}
+			p.Access(core, line, rng.Float64() < 0.3)
+		}
+		// Warm until the directory table and latency memos stop growing.
+		for i := 0; i < 200000; i++ {
+			access(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			access(i)
+		}
+	}
+	b.Run("directory", func(b *testing.B) {
+		nm, err := noc.NewMesh(noc.DefaultConfig(4, 4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dir, err := cache.NewDirectory(newCaches(), meshAdapter{nm}, 2, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, dir)
+	})
+	b.Run("nuca", func(b *testing.B) {
+		nm, err := noc.NewMesh(noc.DefaultConfig(4, 4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nuca, err := cache.NewNUCA(newCaches(), meshAdapter{nm}, 2, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, nuca)
+	})
+}
+
 // meshAdapter bridges noc.Mesh to cache.Network for the benches.
 type meshAdapter struct{ m *noc.Mesh }
 

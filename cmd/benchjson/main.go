@@ -1,0 +1,127 @@
+// Command benchjson turns `go test -bench` output into the repository's
+// benchmark-trajectory snapshot: a BENCH_<date>.json file recording
+// ns/op, B/op and allocs/op per benchmark, so successive PRs can be
+// compared without re-running old commits.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson
+//	go run ./cmd/benchjson -o BENCH_2026-07-28.json bench.out
+//
+// With no -o flag the output lands in BENCH_<today>.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the emitted file.
+type Snapshot struct {
+	Date       string   `json:"date"`
+	GOOS       string   `json:"goos,omitempty"`
+	GOARCH     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Package    string   `json:"pkg,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFigure2-8   3   322103949 ns/op   70841608 B/op   144481 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so trajectories compare across
+// machines; B/op and allocs/op are optional (absent without -benchmem).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(r io.Reader) (Snapshot, error) {
+	snap := Snapshot{Date: time.Now().Format("2006-01-02")}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			snap.Package = strings.TrimPrefix(line, "pkg: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		res := Result{Name: strings.TrimPrefix(m[1], "Benchmark")}
+		res.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+		res.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		if m[5] != "" {
+			res.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if m[6] != "" {
+			res.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		snap.Benchmarks = append(snap.Benchmarks, res)
+	}
+	if err := sc.Err(); err != nil {
+		return snap, err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return snap, fmt.Errorf("no benchmark lines found (pipe `go test -bench` output in)")
+	}
+	return snap, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	snap, err := parse(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + snap.Date + ".json"
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+}

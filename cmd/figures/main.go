@@ -7,6 +7,11 @@
 //	figures            # all figures (fig3's measured multiplier feeds fig4)
 //	figures -fig 2     # one figure
 //	figures -duration 240 -seed 7
+//	figures -workers 1 # serial reference (same results, slower)
+//
+// Sweeps run on the parallel engine (one worker per GOMAXPROCS by
+// default); per-configuration seeding makes the output identical for
+// any -workers value.
 package main
 
 import (
@@ -25,10 +30,11 @@ func main() {
 	seed := flag.Uint64("seed", 2012, "workload noise seed")
 	accesses := flag.Int("accesses", 60000, "trace length per Figure-2 configuration")
 	multiplier := flag.Float64("multiplier", 0, "SEEC/static multiplier for Figure 4 (0 = measure via Figure 3, or 1.15 with -fig 4)")
+	workers := flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *fig == 0 || *fig == 2 {
-		f2, err := experiment.RunFig2(experiment.Fig2Options{Accesses: *accesses, Seed: *seed})
+		f2, err := experiment.RunFig2(experiment.Fig2Options{Accesses: *accesses, Seed: *seed, Workers: *workers})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -36,7 +42,7 @@ func main() {
 	}
 	mult := *multiplier
 	if *fig == 0 || *fig == 3 {
-		f3, err := experiment.RunFig3(experiment.Fig3Options{DurationS: *duration, Seed: *seed})
+		f3, err := experiment.RunFig3(experiment.Fig3Options{DurationS: *duration, Seed: *seed, Workers: *workers})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,7 +53,7 @@ func main() {
 		}
 	}
 	if *fig == 0 || *fig == 4 {
-		f4, err := experiment.RunFig4(mult)
+		f4, err := experiment.RunFig4Opts(experiment.Fig4Options{Multiplier: mult, Workers: *workers})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,3 @@
+module angstrom
+
+go 1.22

@@ -31,6 +31,7 @@ const (
 	CtrStallCycles
 	CtrFlitsTx
 	CtrFlitsRx
+	CtrFlitHops
 	CtrMemAccesses
 	CtrEnergyNJ
 	NumCounters
@@ -40,7 +41,7 @@ const (
 func (id CounterID) String() string {
 	names := [...]string{
 		"instructions", "cycles", "mem_ops", "l2_hits", "l2_misses",
-		"stall_cycles", "flits_tx", "flits_rx", "mem_accesses", "energy_nj",
+		"stall_cycles", "flits_tx", "flits_rx", "flit_hops", "mem_accesses", "energy_nj",
 	}
 	if int(id) < len(names) {
 		return names[id]
@@ -81,3 +82,84 @@ func (c *CounterFile) Delta(prev [NumCounters]uint64) [NumCounters]uint64 {
 // Reset zeroes the file (simulation convenience; hardware counters reset
 // through a control register write, same effect).
 func (c *CounterFile) Reset() { c.v = [NumCounters]uint64{} }
+
+// paddedCounterFile rounds one core's counter block up to a multiple of
+// the cache-line size. A bank is written by a single goroutine (the
+// simulator walks cores in one loop), so the padding's job is layout
+// isolation between banks: a worker's bank never straddles a line with
+// a neighbouring worker's heap allocations, and the layout stays safe
+// if a later PR gives each core its own simulation goroutine.
+type paddedCounterFile struct {
+	CounterFile
+	_ [(128 - (NumCounters*8)%128) % 128]byte
+}
+
+// PerCore is a bank of per-core counter files, one padded cache-line
+// region per core. The trace-driven simulator increments a core's own
+// file on every access and aggregates the bank once at the end of a
+// sweep — the layout that stays false-sharing-free when configurations
+// are evaluated on parallel workers.
+type PerCore struct {
+	files []paddedCounterFile
+}
+
+// NewPerCore builds a bank for n cores.
+func NewPerCore(n int) *PerCore {
+	return &PerCore{files: make([]paddedCounterFile, n)}
+}
+
+// Cores reports the bank width.
+func (p *PerCore) Cores() int { return len(p.files) }
+
+// File returns core i's counter file.
+func (p *PerCore) File(i int) *CounterFile { return &p.files[i].CounterFile }
+
+// Aggregate sums the bank into one counter vector, walking cores in
+// index order (deterministic regardless of how work was scheduled).
+func (p *PerCore) Aggregate() [NumCounters]uint64 {
+	var total [NumCounters]uint64
+	for i := range p.files {
+		for c, v := range p.files[i].v {
+			total[c] += v
+		}
+	}
+	return total
+}
+
+// Reset zeroes every core's file.
+func (p *PerCore) Reset() {
+	for i := range p.files {
+		p.files[i].Reset()
+	}
+}
+
+// paddedFloat is one cache-line-padded float accumulator.
+type paddedFloat struct {
+	v float64
+	_ [120]byte
+}
+
+// PerCoreFloat is the float companion of PerCore, for quantities the
+// simulator keeps in floating point (cycle latencies). Same contract:
+// per-core accumulation during the run, one in-order aggregation at
+// sweep end.
+type PerCoreFloat struct {
+	vals []paddedFloat
+}
+
+// NewPerCoreFloat builds a bank of n padded accumulators.
+func NewPerCoreFloat(n int) *PerCoreFloat {
+	return &PerCoreFloat{vals: make([]paddedFloat, n)}
+}
+
+// Add accumulates into core i's slot.
+func (p *PerCoreFloat) Add(i int, v float64) { p.vals[i].v += v }
+
+// Sum aggregates the bank in index order.
+func (p *PerCoreFloat) Sum() float64 {
+	total := 0.0
+	for i := range p.vals {
+		total += p.vals[i].v
+	}
+	return total
+}

@@ -88,10 +88,14 @@ func EvaluateDetailed(p Params, spec workload.Spec, cfg Config, accesses int, se
 		gens[i] = workload.NewTraceGen(spec, cfg.Cores, i, seed)
 	}
 
-	// Warm up for one fifth of the trace, then measure.
+	// Warm up for one fifth of the trace, then measure. Each core's
+	// events land in its own padded counter block (PerCore), with the
+	// float cycle sums in the matching PerCoreFloat bank; both are
+	// aggregated once after the trace, in core order, so the totals are
+	// identical whether configurations run serially or on sweep workers.
 	warm := accesses / 5
-	var cycles float64
-	var flitHops, memAcc, measured int
+	ctrs := NewPerCore(cfg.Cores)
+	cycleAcc := NewPerCoreFloat(cfg.Cores)
 	for i := 0; i < accesses; i++ {
 		core := i % cfg.Cores
 		line, write := gens[core].Next()
@@ -99,10 +103,25 @@ func EvaluateDetailed(p Params, spec workload.Spec, cfg Config, accesses int, se
 		if i < warm {
 			continue
 		}
-		measured++
-		cycles += out.Cycles
-		flitHops += out.FlitHops
-		memAcc += out.MemAccesses
+		cf := ctrs.File(core)
+		cf.Add(CtrMemOps, 1)
+		cf.Add(CtrFlitsTx, uint64(out.Flits))
+		cf.Add(CtrFlitHops, uint64(out.FlitHops))
+		cf.Add(CtrMemAccesses, uint64(out.MemAccesses))
+		if out.Hit {
+			cf.Add(CtrL2Hits, 1)
+		} else {
+			cf.Add(CtrL2Misses, 1)
+		}
+		cycleAcc.Add(core, out.Cycles)
+	}
+	totals := ctrs.Aggregate()
+	measured := int(totals[CtrMemOps])
+	flitHops := int(totals[CtrFlitHops])
+	memAcc := int(totals[CtrMemAccesses])
+	cycles := cycleAcc.Sum()
+	if measured == 0 {
+		return Metrics{}, fmt.Errorf("angstrom: no measured accesses (trace of %d too short for warmup)", accesses)
 	}
 	offChip := float64(memAcc) / float64(measured)
 	stall := cycles/float64(measured) - offChip*memCyc - l2Cyc

@@ -54,7 +54,14 @@ type Cache struct {
 
 	sets  [][]line
 	stamp uint64
+
+	// stats sits on its own cache lines: a Cache belongs to one tile (and
+	// under the parallel sweep engine to one worker), and its per-access
+	// counter increments must not write-share a line with a neighbouring
+	// tile's bookkeeping.
+	_     [64]byte
 	stats Stats
+	_     [16]byte // round the 48-byte Stats up to a full line
 }
 
 // New builds a cache of sizeKB with the given associativity and line

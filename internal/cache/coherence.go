@@ -2,7 +2,7 @@ package cache
 
 import (
 	"fmt"
-	"math"
+	"math/bits"
 )
 
 // Network abstracts the on-chip interconnect for the coherence protocols
@@ -47,9 +47,158 @@ const (
 // Directory-based MSI (Gupta et al. [13])
 // ---------------------------------------------------------------------
 
-type dirEntry struct {
-	sharers map[int]struct{}
-	owner   int // dirty owner, -1 if none
+// The directory state lives in a sharded open-addressing hash table
+// instead of a Go map: the trace-driven simulator performs one directory
+// lookup per memory access, and map[uint64]*dirEntry was both the
+// dominant allocation source and the dominant lookup cost of the sweep.
+// Sharers are uint64 bitsets (one word covers the ≤64-core paper
+// configurations; wider chips get ⌈cores/64⌉ words per entry, stored
+// flat), so invalidation broadcasts walk set bits instead of map keys
+// and the whole hot path allocates nothing in steady state.
+
+// dirShards is the shard count (power of two). Sharding keeps each
+// open-addressing table small so growth rehashes stay short and cheap.
+const dirShards = 16
+
+// noOwner marks an entry without a dirty owner.
+const noOwner = int32(-1)
+
+// hashLine is a 64-bit finalizer (splitmix64) spreading line addresses
+// across shards and slots.
+func hashLine(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// dirShard is one open-addressing table: parallel slot arrays with
+// linear probing. Entries are never individually deleted — an entry
+// whose sharer set is empty and whose owner is clear behaves exactly
+// like an absent one, and the address universe of a run is bounded — so
+// there are no tombstones and probes stay short.
+type dirShard struct {
+	mask  uint64   // len(lines)-1; len is a power of two
+	used  int      // occupied slots
+	lines []uint64 // line address per slot
+	state []uint8  // 0 = empty, 1 = occupied
+	owner []int32  // dirty owner per slot, noOwner if none
+	bits  []uint64 // sharer bitsets, nw words per slot
+	nw    int      // bitset words per slot
+}
+
+const dirShardInitSlots = 64
+
+func (s *dirShard) init(nw int) {
+	s.nw = nw
+	s.mask = dirShardInitSlots - 1
+	s.used = 0
+	s.lines = make([]uint64, dirShardInitSlots)
+	s.state = make([]uint8, dirShardInitSlots)
+	s.owner = make([]int32, dirShardInitSlots)
+	s.bits = make([]uint64, dirShardInitSlots*nw)
+}
+
+// find returns the slot of line, creating it if needed (growing at ¾
+// load so probe chains stay short).
+func (s *dirShard) find(line uint64, h uint64) int {
+	for {
+		i := h & s.mask
+		for s.state[i] != 0 {
+			if s.lines[i] == line {
+				return int(i)
+			}
+			i = (i + 1) & s.mask
+		}
+		if uint64(s.used+1) <= (s.mask+1)*3/4 {
+			s.state[i] = 1
+			s.lines[i] = line
+			s.owner[i] = noOwner
+			s.used++
+			return int(i)
+		}
+		s.grow()
+	}
+}
+
+// lookup returns the slot of line, or -1 if absent.
+func (s *dirShard) lookup(line uint64, h uint64) int {
+	i := h & s.mask
+	for s.state[i] != 0 {
+		if s.lines[i] == line {
+			return int(i)
+		}
+		i = (i + 1) & s.mask
+	}
+	return -1
+}
+
+// grow doubles the table, re-inserting live entries.
+func (s *dirShard) grow() {
+	old := *s
+	n := (old.mask + 1) * 2
+	s.mask = n - 1
+	s.used = 0
+	s.lines = make([]uint64, n)
+	s.state = make([]uint8, n)
+	s.owner = make([]int32, n)
+	s.bits = make([]uint64, int(n)*s.nw)
+	for i := range old.state {
+		if old.state[i] == 0 {
+			continue
+		}
+		// Probe with the same key entry() and dropSharer use (the hash
+		// shifted past the shard-selection bits), or re-inserted entries
+		// become unfindable after growth.
+		j := s.find(old.lines[i], hashLine(old.lines[i])>>4)
+		s.owner[j] = old.owner[i]
+		copy(s.bits[j*s.nw:(j+1)*s.nw], old.bits[i*s.nw:(i+1)*s.nw])
+	}
+}
+
+// Bitset accessors for slot i.
+
+func (s *dirShard) addSharer(i, core int) {
+	s.bits[i*s.nw+core>>6] |= 1 << (uint(core) & 63)
+}
+
+func (s *dirShard) dropSharerBit(i, core int) {
+	s.bits[i*s.nw+core>>6] &^= 1 << (uint(core) & 63)
+}
+
+func (s *dirShard) isSharer(i, core int) bool {
+	return s.bits[i*s.nw+core>>6]&(1<<(uint(core)&63)) != 0
+}
+
+func (s *dirShard) sharerCount(i int) int {
+	n := 0
+	for _, w := range s.bits[i*s.nw : (i+1)*s.nw] {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// minSharer returns the lowest-numbered sharer, or -1 if none (matches
+// the deterministic "forward from the smallest tile id" policy).
+func (s *dirShard) minSharer(i int) int {
+	for w, word := range s.bits[i*s.nw : (i+1)*s.nw] {
+		if word != 0 {
+			return w*64 + bits.TrailingZeros64(word)
+		}
+	}
+	return -1
+}
+
+// clearSharers empties slot i's bitset, optionally keeping one core.
+func (s *dirShard) clearSharers(i int, keep int) {
+	for w := range s.bits[i*s.nw : (i+1)*s.nw] {
+		s.bits[i*s.nw+w] = 0
+	}
+	if keep >= 0 {
+		s.addSharer(i, keep)
+	}
 }
 
 // Directory is a distributed directory-based MSI protocol: each line has
@@ -61,18 +210,25 @@ type Directory struct {
 	net    Network
 	mem    float64 // off-chip latency, cycles
 	l2     float64 // local cache access latency, cycles
-	dir    map[uint64]*dirEntry
+	shards [dirShards]dirShard
 }
 
-// NewDirectory builds the protocol over per-tile caches.
+// NewDirectory builds the protocol over per-tile caches. Any core count
+// is supported; sharer bitsets are sized at ⌈cores/64⌉ words.
 func NewDirectory(caches []*Cache, net Network, l2Cycles, memCycles float64) (*Directory, error) {
 	if len(caches) == 0 {
 		return nil, fmt.Errorf("cache: directory needs at least one cache")
 	}
-	return &Directory{
-		caches: caches, net: net, mem: memCycles, l2: l2Cycles,
-		dir: make(map[uint64]*dirEntry),
-	}, nil
+	d := &Directory{caches: caches, net: net, mem: memCycles, l2: l2Cycles}
+	d.resetDir()
+	return d, nil
+}
+
+func (d *Directory) resetDir() {
+	nw := (len(d.caches) + 63) / 64
+	for i := range d.shards {
+		d.shards[i].init(nw)
+	}
 }
 
 // Name implements Protocol.
@@ -80,23 +236,22 @@ func (d *Directory) Name() string { return "directory-msi" }
 
 func (d *Directory) home(line uint64) int { return int(line % uint64(len(d.caches))) }
 
-func (d *Directory) entry(line uint64) *dirEntry {
-	e, ok := d.dir[line]
-	if !ok {
-		e = &dirEntry{sharers: make(map[int]struct{}), owner: -1}
-		d.dir[line] = e
-	}
-	return e
+// entry locates (creating if needed) the directory entry for line.
+func (d *Directory) entry(line uint64) (*dirShard, int) {
+	h := hashLine(line)
+	s := &d.shards[h&(dirShards-1)]
+	return s, s.find(line, h>>4)
 }
 
 // Access implements Protocol.
 func (d *Directory) Access(core int, line uint64, write bool) Outcome {
 	c := d.caches[core]
 	out := Outcome{}
-	e := d.entry(line)
-	_, isSharer := e.sharers[core]
-	localHit := c.Contains(line) && (isSharer || e.owner == core)
-	if localHit && (!write || e.owner == core) {
+	s, e := d.entry(line)
+	isSharer := s.isSharer(e, core)
+	ownerIsCore := s.owner[e] == int32(core)
+	localHit := c.Contains(line) && (isSharer || ownerIsCore)
+	if localHit && (!write || ownerIsCore) {
 		// Read hit, or write hit on an already-exclusive line.
 		c.Access(line, write)
 		out.Cycles = d.l2
@@ -110,20 +265,25 @@ func (d *Directory) Access(core int, line uint64, write bool) Outcome {
 		c.Access(line, true)
 		out.Cycles = d.l2 + d.msg(core, home, ctrlFlits, &out)
 		far := 0.0
-		for s := range e.sharers {
-			if s == core {
-				continue
+		for w := 0; w < s.nw; w++ {
+			word := s.bits[e*s.nw+w]
+			for word != 0 {
+				sh := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if sh == core {
+					continue
+				}
+				lat := d.msg(home, sh, ctrlFlits, &out)
+				d.msg(sh, home, ctrlFlits, &out) // ack
+				if lat > far {
+					far = lat
+				}
+				d.caches[sh].Invalidate(line)
 			}
-			lat := d.msg(home, s, ctrlFlits, &out)
-			d.msg(s, home, ctrlFlits, &out) // ack
-			if lat > far {
-				far = lat
-			}
-			d.caches[s].Invalidate(line)
 		}
 		out.Cycles += 2 * far
-		e.sharers = map[int]struct{}{core: {}}
-		e.owner = core
+		s.clearSharers(e, core)
+		s.owner[e] = int32(core)
 		out.Hit = true
 		return out
 	}
@@ -131,57 +291,62 @@ func (d *Directory) Access(core int, line uint64, write bool) Outcome {
 	out.Cycles = d.l2 // tag check
 	out.Cycles += d.msg(core, home, ctrlFlits, &out)
 	switch {
-	case e.owner >= 0 && e.owner != core:
+	case s.owner[e] >= 0 && !ownerIsCore:
 		// Dirty remote: forward, owner supplies data (cache-to-cache).
-		owner := e.owner
+		owner := int(s.owner[e])
 		out.Cycles += d.msg(home, owner, ctrlFlits, &out)
 		out.Cycles += d.l2 // owner cache read
 		out.Cycles += d.msg(owner, core, dataFlits, &out)
 		out.Hit = true
 		if write {
 			d.caches[owner].Invalidate(line)
-			delete(e.sharers, owner)
-			e.owner = core
+			s.dropSharerBit(e, owner)
+			s.owner[e] = int32(core)
 		} else {
-			e.owner = -1 // downgraded to shared; owner keeps a copy
-			e.sharers[owner] = struct{}{}
+			s.owner[e] = noOwner // downgraded to shared; owner keeps a copy
+			s.addSharer(e, owner)
 		}
-	case len(e.sharers) > 0 && !write:
+	case s.sharerCount(e) > 0 && !write:
 		// Clean shared somewhere on chip: home forwards from a sharer.
-		src := anySharer(e)
+		src := s.minSharer(e)
 		out.Cycles += d.msg(home, src, ctrlFlits, &out)
 		out.Cycles += d.l2
 		out.Cycles += d.msg(src, core, dataFlits, &out)
 		out.Hit = true
-	case len(e.sharers) > 0 && write:
+	case s.sharerCount(e) > 0 && write:
 		// Write to a shared line: invalidate all sharers, fetch from one.
-		src := anySharer(e)
+		src := s.minSharer(e)
 		far := 0.0
-		for s := range e.sharers {
-			lat := d.msg(home, s, ctrlFlits, &out)
-			d.msg(s, home, ctrlFlits, &out)
-			if lat > far {
-				far = lat
-			}
-			if s != core {
-				d.caches[s].Invalidate(line)
+		for w := 0; w < s.nw; w++ {
+			word := s.bits[e*s.nw+w]
+			for word != 0 {
+				sh := w*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				lat := d.msg(home, sh, ctrlFlits, &out)
+				d.msg(sh, home, ctrlFlits, &out)
+				if lat > far {
+					far = lat
+				}
+				if sh != core {
+					d.caches[sh].Invalidate(line)
+				}
 			}
 		}
 		out.Cycles += 2*far + d.l2
 		out.Cycles += d.msg(src, core, dataFlits, &out)
 		out.Hit = true
-		e.sharers = make(map[int]struct{})
-		e.owner = core
+		s.clearSharers(e, -1)
+		s.owner[e] = int32(core)
 	default:
 		// Nowhere on chip: fetch from memory via home.
 		out.Cycles += d.mem
 		out.MemAccesses++
 		out.Cycles += d.msg(home, core, dataFlits, &out)
 		if write {
-			e.owner = core
+			s.owner[e] = int32(core)
 		}
 	}
-	e.sharers[core] = struct{}{}
+	s.addSharer(e, core)
 	res := c.Access(line, write)
 	if res.Evicted {
 		d.dropSharer(res.EvictedLine, core, res.EvictedDirty, &out)
@@ -197,33 +362,24 @@ func (d *Directory) msg(src, dst int, flits int, out *Outcome) float64 {
 }
 
 // dropSharer removes an evicted line's bookkeeping; dirty victims write
-// back to the home memory controller.
+// back to the home memory controller. The emptied entry is left in
+// place (it is indistinguishable from an absent one), so evictions
+// never restructure the table.
 func (d *Directory) dropSharer(line uint64, core int, dirty bool, out *Outcome) {
-	e, ok := d.dir[line]
-	if !ok {
+	h := hashLine(line)
+	s := &d.shards[h&(dirShards-1)]
+	e := s.lookup(line, h>>4)
+	if e < 0 {
 		return
 	}
-	delete(e.sharers, core)
-	if e.owner == core {
-		e.owner = -1
+	s.dropSharerBit(e, core)
+	if s.owner[e] == int32(core) {
+		s.owner[e] = noOwner
 	}
 	if dirty {
 		d.msg(core, d.home(line), dataFlits, out)
 		out.MemAccesses++
 	}
-	if len(e.sharers) == 0 && e.owner < 0 {
-		delete(d.dir, line)
-	}
-}
-
-func anySharer(e *dirEntry) int {
-	min := math.MaxInt
-	for s := range e.sharers {
-		if s < min {
-			min = s
-		}
-	}
-	return min
 }
 
 // FlushAll implements Protocol.
@@ -232,7 +388,7 @@ func (d *Directory) FlushAll() int {
 	for _, c := range d.caches {
 		wb += c.Flush()
 	}
-	d.dir = make(map[uint64]*dirEntry)
+	d.resetDir()
 	return wb
 }
 

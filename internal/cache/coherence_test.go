@@ -295,6 +295,161 @@ func TestProtocolsRejectEmptyCaches(t *testing.T) {
 	}
 }
 
+// TestDirShardGrowthKeepsEntriesFindable is the regression gate for the
+// open-addressing rehash: entries re-inserted by grow() must use the
+// same probe key as entry()/lookup (the hash shifted past the
+// shard-selection bits), or lines silently duplicate after the table
+// grows and coherence state forks.
+func TestDirShardGrowthKeepsEntriesFindable(t *testing.T) {
+	var s dirShard
+	s.init(1)
+	const lines = 5000 // forces many doublings from the 64-slot start
+	for pass := 0; pass < 3; pass++ {
+		for line := uint64(0); line < lines; line++ {
+			s.find(line, hashLine(line)>>4)
+		}
+	}
+	if s.used != lines {
+		t.Fatalf("shard holds %d entries for %d distinct lines (growth created duplicates)", s.used, lines)
+	}
+	for line := uint64(0); line < lines; line++ {
+		if s.lookup(line, hashLine(line)>>4) < 0 {
+			t.Fatalf("line %d unfindable after growth", line)
+		}
+	}
+}
+
+// TestDirectoryStateSurvivesTableGrowth checks the same property at the
+// protocol surface: a sharer recorded before the table grows must still
+// be invalidated by a write that lands after it.
+func TestDirectoryStateSurvivesTableGrowth(t *testing.T) {
+	d := newDir(t, 4, 256) // 4096-line tiles: nothing evicts below
+	line := uint64(12345)
+	d.Access(0, line, false) // core 0 shares early
+	// Touch enough distinct lines to force every shard through growth.
+	for l := uint64(0); l < 3000; l++ {
+		d.Access(1, 100000+l*4, false)
+	}
+	out := d.Access(2, line, false)
+	if !out.Hit || out.MemAccesses != 0 {
+		t.Fatalf("read of a pre-growth shared line = %+v, want on-chip forward", out)
+	}
+	d.Access(3, line, true)
+	if d.caches[0].Contains(line) {
+		t.Fatal("pre-growth sharer survived a post-growth write (directory lost its bit)")
+	}
+}
+
+// TestDirectoryBroadcastBeyond32Sharers drives the sharer bitset past a
+// 32-bit word: 48 cores read the same line, then one writes. Every one
+// of the 47 remote copies must be invalidated in a single upgrade, and
+// the write must generate one invalidation round-trip per remote sharer.
+func TestDirectoryBroadcastBeyond32Sharers(t *testing.T) {
+	const tiles = 48
+	d := newDir(t, tiles, 64)
+	line := uint64(4242)
+	for core := 0; core < tiles; core++ {
+		d.Access(core, line, false)
+	}
+	writer := tiles - 1
+	out := d.Access(writer, line, true)
+	if !out.Hit {
+		t.Fatal("upgrade on a fully-shared line treated as off-chip miss")
+	}
+	// 47 invalidations + 47 acks + the upgrade request itself.
+	if wantMin := 2*(tiles-1) + 1; out.Flits < wantMin {
+		t.Fatalf("broadcast generated %d flits, want >= %d", out.Flits, wantMin)
+	}
+	for core := 0; core < tiles; core++ {
+		if core == writer {
+			if !d.caches[core].Contains(line) {
+				t.Fatal("writer lost its own copy during the broadcast")
+			}
+			continue
+		}
+		if d.caches[core].Contains(line) {
+			t.Fatalf("core %d (bit %d of a >32-sharer set) survived the broadcast", core, core)
+		}
+	}
+	if s := d.Stats(); s.Invalidations != tiles-1 {
+		t.Fatalf("%d invalidations recorded, want %d", s.Invalidations, tiles-1)
+	}
+	// The writer now owns the line exclusively: silent local write hits.
+	if out := d.Access(writer, line, true); !out.Hit || out.Flits != 0 {
+		t.Fatalf("post-broadcast write = %+v, want silent exclusive hit", out)
+	}
+}
+
+// TestDirectoryOwnerDowngradePath pins the dirty-owner bookkeeping
+// through a downgrade: after a remote read the old owner must remain a
+// sharer (not owner), so a third core's write invalidates both copies.
+func TestDirectoryOwnerDowngradePath(t *testing.T) {
+	d := newDir(t, 8, 64)
+	line := uint64(77)
+	d.Access(0, line, true)  // core 0 dirty owner
+	d.Access(1, line, false) // downgrade: 0 and 1 now share
+	// A write from core 2 must invalidate both previous holders and no
+	// memory fetch may occur (the data is on chip).
+	out := d.Access(2, line, true)
+	if !out.Hit || out.MemAccesses != 0 {
+		t.Fatalf("write after downgrade = %+v, want on-chip service", out)
+	}
+	if d.caches[0].Contains(line) || d.caches[1].Contains(line) {
+		t.Fatal("downgraded owner or sharer survived a remote write")
+	}
+	// Core 2 is the new exclusive owner: a dirty eviction must write back.
+	if !d.caches[2].Contains(line) {
+		t.Fatal("writer did not fill its cache")
+	}
+}
+
+// TestDirectoryResetDropsAllState covers the directory-reset path of the
+// sharded table: FlushAll after heavy multi-word traffic must leave no
+// sharer, owner, or entry behind.
+func TestDirectoryResetDropsAllState(t *testing.T) {
+	const tiles = 40
+	d := newDir(t, tiles, 64)
+	rng := sim.NewRNG(11)
+	for i := 0; i < 20000; i++ {
+		d.Access(rng.Intn(tiles), uint64(rng.Intn(2048)), rng.Float64() < 0.3)
+	}
+	if wb := d.FlushAll(); wb < 1 {
+		t.Fatalf("FlushAll wrote back %d lines, want >= 1 after dirty traffic", wb)
+	}
+	for _, sh := range d.shards {
+		if sh.used != 0 {
+			t.Fatalf("shard retained %d entries after reset", sh.used)
+		}
+	}
+	// Every post-reset first touch is a cold miss.
+	for core := 0; core < 4; core++ {
+		if out := d.Access(core, uint64(1000+core), false); out.MemAccesses != 1 {
+			t.Fatalf("core %d post-reset access = %+v, want cold memory fill", core, out)
+		}
+	}
+}
+
+// TestDirectoryEvictionClearsSharerBit: an eviction must drop the
+// core's bit so later writes skip the stale sharer; with >32 cores this
+// exercises the multi-word clear path.
+func TestDirectoryEvictionClearsSharerBit(t *testing.T) {
+	const tiles = 34
+	d := newDir(t, tiles, 16) // small cache: easy to evict
+	line := uint64(33)        // lands in core-33 territory of the bitset's second word
+	d.Access(33, line, false)
+	// Thrash core 33's cache with conflicting lines until 'line' is gone.
+	set := d.caches[33]
+	for i := uint64(1); set.Contains(line); i++ {
+		d.Access(33, line+i*4096, false)
+	}
+	inv := d.Stats().Invalidations
+	// A write from core 0 must not try to invalidate core 33.
+	d.Access(0, line, true)
+	if got := d.Stats().Invalidations; got != inv {
+		t.Fatalf("write invalidated %d stale copies; eviction left the sharer bit set", got-inv)
+	}
+}
+
 func TestFlushAllResetsProtocols(t *testing.T) {
 	d := newDir(t, 4, 64)
 	d.Access(0, 1, true)

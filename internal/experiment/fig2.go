@@ -36,6 +36,10 @@ type Fig2Options struct {
 	Seed uint64
 	// WorkInstr is the fixed work whose energy is reported.
 	WorkInstr float64
+	// Workers bounds the sweep's parallelism: 0 selects GOMAXPROCS,
+	// 1 forces the serial reference path. Results are identical for any
+	// value (see Sweep's determinism contract).
+	Workers int
 }
 
 func (o *Fig2Options) fill() {
@@ -60,7 +64,10 @@ type Fig2Result struct {
 func Fig2Cores() []int  { return []int{1, 2, 4, 8, 16, 32, 64} }
 func Fig2Caches() []int { return []int{16, 32, 64, 128, 256} }
 
-// RunFig2 regenerates Figure 2 with the trace-driven simulator.
+// RunFig2 regenerates Figure 2 with the trace-driven simulator. The
+// cores × cache grid is evaluated on the parallel sweep engine — every
+// configuration's trace generators are seeded from (opts.Seed, core id)
+// alone, so the result is identical for any Workers setting.
 func RunFig2(opts Fig2Options) (Fig2Result, error) {
 	opts.fill()
 	spec, err := workload.ByName("barnes")
@@ -69,26 +76,33 @@ func RunFig2(opts Fig2Options) (Fig2Result, error) {
 	}
 	p := angstrom.DefaultParams()
 
-	type local struct {
-		m angstrom.Metrics
-	}
-	metrics := make(map[[2]int]local)
-	var res Fig2Result
-	for _, cores := range Fig2Cores() {
-		for _, kb := range Fig2Caches() {
-			cfg := angstrom.Config{Cores: cores, CacheKB: kb, VF: 1}
-			m, err := angstrom.EvaluateDetailed(p, spec, cfg, opts.Accesses, opts.Seed)
-			if err != nil {
-				return Fig2Result{}, err
-			}
-			metrics[[2]int{cores, kb}] = local{m: m}
-			t := opts.WorkInstr / m.IPS
-			res.Points = append(res.Points, Fig2Point{
-				Cores: cores, CacheKB: kb,
-				IPS:     m.IPS,
-				EnergyJ: m.PowerW * t,
-			})
+	cores, caches := Fig2Cores(), Fig2Caches()
+	configs := make([]angstrom.Config, 0, len(cores)*len(caches))
+	for _, c := range cores {
+		for _, kb := range caches {
+			configs = append(configs, angstrom.Config{Cores: c, CacheKB: kb, VF: 1})
 		}
+	}
+	metrics, err := Sweep(configs, opts.Workers, func(_ int, cfg angstrom.Config) (angstrom.Metrics, error) {
+		return angstrom.EvaluateDetailed(p, spec, cfg, opts.Accesses, opts.Seed)
+	})
+	if err != nil {
+		return Fig2Result{}, err
+	}
+
+	// Aggregation. Degenerate configurations (zero throughput) are kept
+	// as zero-energy points via safeRatio rather than Inf/NaN, so the
+	// Pareto and closed-controller selections below stay well-defined.
+	byCfg := make(map[[2]int]angstrom.Metrics, len(configs))
+	var res Fig2Result
+	for i, cfg := range configs {
+		m := metrics[i]
+		byCfg[[2]int{cfg.Cores, cfg.CacheKB}] = m
+		res.Points = append(res.Points, Fig2Point{
+			Cores: cfg.Cores, CacheKB: cfg.CacheKB,
+			IPS:     m.IPS,
+			EnergyJ: m.PowerW * safeRatio(opts.WorkInstr, m.IPS),
+		})
 	}
 
 	markPareto(res.Points)
@@ -97,27 +111,27 @@ func RunFig2(opts Fig2Options) (Fig2Result, error) {
 	// else), pick the cache size minimizing the memory hierarchy's own
 	// energy-delay product — (cache + memory power)/IPS² — blind to core
 	// and network costs. This is the [4]-style local policy of §2.
-	for _, cores := range Fig2Cores() {
+	for _, c := range cores {
 		best, bestKB := math.Inf(1), 0
-		for _, kb := range Fig2Caches() {
-			m := metrics[[2]int{cores, kb}].m
-			edp := (m.CacheW + m.MemW) / (m.IPS * m.IPS)
-			if edp < best {
+		for _, kb := range caches {
+			m := byCfg[[2]int{c, kb}]
+			edp := safeRatio(m.CacheW+m.MemW, m.IPS*m.IPS)
+			if m.IPS > 0 && edp < best {
 				best, bestKB = edp, kb
 			}
 		}
-		markChoice(res.Points, cores, bestKB, true)
+		markChoice(res.Points, c, bestKB, true)
 	}
 	// Closed core-only allocator: for each cache size, pick the core
 	// count minimizing the cores' own energy-delay product, blind to the
 	// memory system.
-	for _, kb := range Fig2Caches() {
+	for _, kb := range caches {
 		best, bestCores := math.Inf(1), 0
-		for _, cores := range Fig2Cores() {
-			m := metrics[[2]int{cores, kb}].m
-			edp := m.CoresW / (m.IPS * m.IPS)
-			if edp < best {
-				best, bestCores = edp, cores
+		for _, c := range cores {
+			m := byCfg[[2]int{c, kb}]
+			edp := safeRatio(m.CoresW, m.IPS*m.IPS)
+			if m.IPS > 0 && edp < best {
+				best, bestCores = edp, c
 			}
 		}
 		markChoice(res.Points, bestCores, kb, false)
@@ -139,7 +153,10 @@ func markChoice(points []Fig2Point, cores, kb int, cacheChoice bool) {
 }
 
 // markPareto flags the Pareto-optimal points: maximal IPS, minimal
-// energy.
+// energy. Degenerate zero-throughput points (kept as zero-energy
+// placeholders by the sweep aggregation) are never part of the
+// frontier, matching the IPS > 0 guards on the closed-controller
+// selections.
 func markPareto(points []Fig2Point) {
 	idx := make([]int, len(points))
 	for i := range idx {
@@ -154,7 +171,7 @@ func markPareto(points []Fig2Point) {
 	})
 	bestIPS := math.Inf(-1)
 	for _, i := range idx {
-		if points[i].IPS > bestIPS {
+		if points[i].IPS > bestIPS && points[i].IPS > 0 {
 			points[i].Pareto = true
 			bestIPS = points[i].IPS
 		}

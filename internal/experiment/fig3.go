@@ -31,6 +31,10 @@ type Fig3Options struct {
 	PeriodS float64
 	// Seed drives workload noise.
 	Seed uint64
+	// Workers bounds the sweep's parallelism (0 = GOMAXPROCS, 1 =
+	// serial). Every run is seeded per benchmark, so results do not
+	// depend on the setting.
+	Workers int
 }
 
 func (o *Fig3Options) fill() {
@@ -90,62 +94,84 @@ func RunFig3(opts Fig3Options) (Fig3Result, error) {
 	// once derated to the heaviest phase. Every §5.2 policy is
 	// goal-driven — its job is to meet the application's target — so the
 	// static provisioners must size for the peak: with the windowed
-	// metric an undershot window is performance lost for good.
-	points := make([][]oracle.Point, len(specs))
-	peakPoints := make([][]oracle.Point, len(specs))
-	targets := make([]float64, len(specs))
-	for a, spec := range specs {
-		targets[a] = p.MaxHeartRate(spec) / 2
+	// metric an undershot window is performance lost for good. One sweep
+	// job per benchmark: each characterizes the full configuration space
+	// with the pure analytic model.
+	type charRes struct {
+		pts, peak []oracle.Point
+		target    float64
+	}
+	chars, err := Sweep(specs, opts.Workers, func(_ int, spec workload.Spec) (charRes, error) {
 		pts := make([]oracle.Point, len(configs))
 		peak := make([]oracle.Point, len(configs))
 		for c, cfg := range configs {
 			m, err := xeon.Evaluate(p, spec, cfg)
 			if err != nil {
-				return Fig3Result{}, err
+				return charRes{}, err
 			}
 			pts[c] = oracle.Point{Rate: m.HeartRate, Power: m.PowerW - p.IdleW}
 			peak[c] = oracle.Point{Rate: m.HeartRate / (1 + spec.PhaseAmp), Power: pts[c].Power}
 		}
-		points[a] = pts
-		peakPoints[a] = peak
+		return charRes{pts: pts, peak: peak, target: p.MaxHeartRate(spec) / 2}, nil
+	})
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	points := make([][]oracle.Point, len(specs))
+	peakPoints := make([][]oracle.Point, len(specs))
+	targets := make([]float64, len(specs))
+	for a := range specs {
+		points[a] = chars[a].pts
+		peakPoints[a] = chars[a].peak
+		targets[a] = chars[a].target
 	}
 	noAdaptIdx := oracle.BestMeetingAll(peakPoints, targets)
 	noAdaptCfg := configs[noAdaptIdx]
 
+	// Closed-loop stage: 5 systems × 5 benchmarks, each an independent
+	// simulated run seeded per benchmark — one sweep job apiece.
+	const nSystems = 5
+	type job struct{ bench, system int }
+	jobs := make([]job, 0, len(specs)*nSystems)
+	for a := range specs {
+		for s := 0; s < nSystems; s++ {
+			jobs = append(jobs, job{bench: a, system: s})
+		}
+	}
+	vals, err := Sweep(jobs, opts.Workers, func(_ int, j job) (float64, error) {
+		spec := specs[j.bench]
+		target := targets[j.bench]
+		seed := opts.Seed + uint64(j.bench)*101
+		switch j.system {
+		case 0:
+			return runFixed(p, spec, noAdaptCfg, target, seed, opts)
+		case 1:
+			// Static oracle: the cheapest configuration that still meets
+			// the target through the heaviest phase — assigning resources
+			// once means provisioning for the peak.
+			staticIdx, _ := oracle.BestMeeting(peakPoints[j.bench], target)
+			return runFixed(p, spec, configs[staticIdx], target, seed, opts)
+		case 2:
+			return runDynamicOracle(p, spec, configs, points[j.bench], target, seed, opts)
+		case 3:
+			return runSEEC(p, spec, target, seed, opts, false)
+		default:
+			return runSEEC(p, spec, target, seed, opts, true)
+		}
+	})
+	if err != nil {
+		return Fig3Result{}, err
+	}
+
 	res := Fig3Result{NoAdaptCfg: noAdaptCfg}
 	var sumSEECStatic, sumSEECUnc, sumSEECDyn float64
 	for a, spec := range specs {
-		target := targets[a]
-		seed := opts.Seed + uint64(a)*101
-
-		noAdapt, err := runFixed(p, spec, noAdaptCfg, target, seed, opts)
-		if err != nil {
-			return res, err
-		}
-		// Static oracle: the cheapest configuration that still meets the
-		// target through the heaviest phase — assigning resources once
-		// means provisioning for the peak.
-		staticIdx, _ := oracle.BestMeeting(peakPoints[a], target)
-		static, err := runFixed(p, spec, configs[staticIdx], target, seed, opts)
-		if err != nil {
-			return res, err
-		}
-		dynamic, err := runDynamicOracle(p, spec, configs, points[a], target, seed, opts)
-		if err != nil {
-			return res, err
-		}
-		seec, err := runSEEC(p, spec, target, seed, opts, false)
-		if err != nil {
-			return res, err
-		}
-		unc, err := runSEEC(p, spec, target, seed, opts, true)
-		if err != nil {
-			return res, err
-		}
-
+		base := a * nSystems
+		noAdapt, static, dynamic := vals[base], vals[base+1], vals[base+2]
+		seec, unc := vals[base+3], vals[base+4]
 		res.Rows = append(res.Rows, Fig3Row{
 			Benchmark:  spec.Name,
-			TargetRate: target,
+			TargetRate: targets[a],
 
 			NoAdapt:       noAdapt,
 			Uncoordinated: unc,
@@ -153,9 +179,9 @@ func RunFig3(opts Fig3Options) (Fig3Result, error) {
 			StaticOracle:  static,
 			DynamicOracle: dynamic,
 		})
-		sumSEECStatic += seec / static
-		sumSEECUnc += seec / unc
-		sumSEECDyn += seec / dynamic
+		sumSEECStatic += safeRatio(seec, static)
+		sumSEECUnc += safeRatio(seec, unc)
+		sumSEECDyn += safeRatio(seec, dynamic)
 	}
 	n := float64(len(res.Rows))
 	res.SEECOverStatic = sumSEECStatic / n

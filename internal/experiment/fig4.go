@@ -48,9 +48,26 @@ func Fig4Space() []angstrom.Config {
 	return out
 }
 
+// Fig4Options control the §5.3 experiment.
+type Fig4Options struct {
+	// Multiplier is the measured SEEC/static ratio from Figure 3
+	// (<= 0 uses the paper's 1.15).
+	Multiplier float64
+	// Workers bounds the sweep's parallelism (0 = GOMAXPROCS, 1 =
+	// serial). The characterization is a pure analytic model, so results
+	// do not depend on the setting.
+	Workers int
+}
+
 // RunFig4 regenerates Figure 4. multiplier is the measured SEEC/static
 // ratio from Figure 3 (pass 0 to use the paper's 1.15).
 func RunFig4(multiplier float64) (Fig4Result, error) {
+	return RunFig4Opts(Fig4Options{Multiplier: multiplier})
+}
+
+// RunFig4Opts is RunFig4 with sweep control.
+func RunFig4Opts(opts Fig4Options) (Fig4Result, error) {
+	multiplier := opts.Multiplier
 	if multiplier <= 0 {
 		multiplier = 1.15
 	}
@@ -64,23 +81,34 @@ func RunFig4(multiplier float64) (Fig4Result, error) {
 	// baseline class is what lets the static oracle choose *efficient*
 	// configurations — e.g. all 256 cores at 0.4 V for barnes — instead
 	// of being forced to the high-voltage point, which is the §5.3 story.
-	points := make([][]oracle.Point, len(specs))
-	targets := make([]float64, len(specs))
-	for a, spec := range specs {
+	// One sweep job per benchmark sweeps the whole configuration space.
+	type charRes struct {
+		pts    []oracle.Point
+		target float64
+	}
+	chars, err := Sweep(specs, opts.Workers, func(_ int, spec workload.Spec) (charRes, error) {
 		pts := make([]oracle.Point, len(configs))
 		best64 := 0.0
 		for c, cfg := range configs {
 			m, err := angstrom.Evaluate(p, spec, cfg)
 			if err != nil {
-				return Fig4Result{}, err
+				return charRes{}, err
 			}
 			pts[c] = oracle.Point{Rate: m.HeartRate, Power: m.PowerW - p.UncoreW}
 			if cfg.Cores == 64 && m.HeartRate > best64 {
 				best64 = m.HeartRate
 			}
 		}
-		points[a] = pts
-		targets[a] = best64 / 2
+		return charRes{pts: pts, target: best64 / 2}, nil
+	})
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	points := make([][]oracle.Point, len(specs))
+	targets := make([]float64, len(specs))
+	for a := range specs {
+		points[a] = chars[a].pts
+		targets[a] = chars[a].target
 	}
 
 	noAdaptIdx := oracle.BestMeetingAll(points, targets)
@@ -100,10 +128,10 @@ func RunFig4(multiplier float64) (Fig4Result, error) {
 			PredictedSEEC: seec,
 			StaticCfg:     configs[staticIdx],
 		})
-		sumStatic += static / noAdapt
-		sumSEEC += seec / noAdapt
+		sumStatic += safeRatio(static, noAdapt)
+		sumSEEC += safeRatio(seec, noAdapt)
 		if spec.Name == "barnes" {
-			res.BarnesStaticOverNoAdapt = static / noAdapt
+			res.BarnesStaticOverNoAdapt = safeRatio(static, noAdapt)
 		}
 	}
 	n := float64(len(res.Rows))

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sweep is the parallel configuration-sweep engine behind every figure:
+// it evaluates one independent job per item of a configuration space on
+// a bounded worker pool and returns the results in input order.
+//
+// Determinism contract: fn must derive all of its state — including any
+// RNG — from its (index, item) arguments alone, never from shared
+// mutable state or scheduling order. Every experiment in this package
+// seeds its per-configuration RNGs that way, so a sweep's results are
+// bit-identical to a serial run regardless of worker count or
+// interleaving; TestFig2ParallelMatchesSerial enforces this.
+//
+// workers <= 0 selects GOMAXPROCS. workers == 1 runs inline with no
+// goroutines (the serial reference). The first error cancels the sweep:
+// remaining queued jobs are skipped and the error is returned.
+func Sweep[T, R any](items []T, workers int, fn func(idx int, item T) (R, error)) ([]R, error) {
+	n := len(items)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]R, n)
+	if workers <= 1 {
+		for i, item := range items {
+			r, err := fn(i, item)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+
+	var (
+		next    atomic.Int64 // shared job cursor
+		failed  atomic.Bool
+		errOnce sync.Once
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				r, err := fn(i, items[i])
+				if err != nil {
+					errOnce.Do(func() { firstEr = err })
+					failed.Store(true)
+					return
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return out, nil
+}
+
+// safeRatio divides num by den, returning 0 when den is 0 (sweep-safe:
+// degenerate configurations — zero measured accesses, zero throughput —
+// must yield a harmless point, not an Inf/NaN that poisons Pareto and
+// oracle selection).
+func safeRatio(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -17,40 +17,38 @@ import "sort"
 // It returns the resulting worst-link utilization.
 func (m *Mesh) OptimizeAOR() float64 {
 	type flow struct {
-		key  [2]int
-		rate float64
+		src, dst int
+		rate     float64
 	}
-	flows := make([]flow, 0, len(m.flows))
-	for k, r := range m.flows {
-		if k[0] != k[1] {
-			flows = append(flows, flow{k, r})
-		}
-	}
+	flows := make([]flow, 0, m.nflows)
+	m.forEachFlow(func(src, dst int, rate float64) {
+		flows = append(flows, flow{src, dst, rate})
+	})
 	sort.Slice(flows, func(i, j int) bool {
 		if flows[i].rate != flows[j].rate {
 			return flows[i].rate > flows[j].rate
 		}
-		return flows[i].key[0]*m.n+flows[i].key[1] < flows[j].key[0]*m.n+flows[j].key[1]
+		return flows[i].src*m.n+flows[i].dst < flows[j].src*m.n+flows[j].dst
 	})
 
 	// Work on a raw load vector: add/remove path loads incrementally.
 	loads := make([]float64, len(m.loads))
 	addPath := func(src, dst int, r Route, rate float64) {
-		m.table[[2]int{src, dst}] = r
-		for _, h := range m.path(src, dst) {
-			loads[m.linkID(h.node, h.dir)] += rate
+		m.table[src*m.n+dst] = r
+		for it := m.pathFrom(src, dst); it.next(); {
+			loads[m.linkID(it.node, it.dir)] += rate
 		}
 	}
 	removePath := func(src, dst int, rate float64) {
-		for _, h := range m.path(src, dst) {
-			loads[m.linkID(h.node, h.dir)] -= rate
+		for it := m.pathFrom(src, dst); it.next(); {
+			loads[m.linkID(it.node, it.dir)] -= rate
 		}
 	}
 	pathCost := func(src, dst int, r Route, rate float64) float64 {
-		m.table[[2]int{src, dst}] = r
+		m.table[src*m.n+dst] = r
 		worst := 0.0
-		for _, h := range m.path(src, dst) {
-			if l := loads[m.linkID(h.node, h.dir)] + rate; l > worst {
+		for it := m.pathFrom(src, dst); it.next(); {
+			if l := loads[m.linkID(it.node, it.dir)] + rate; l > worst {
 				worst = l
 			}
 		}
@@ -59,34 +57,40 @@ func (m *Mesh) OptimizeAOR() float64 {
 
 	// Initial greedy placement.
 	for _, f := range flows {
-		xy := pathCost(f.key[0], f.key[1], RouteXY, f.rate)
-		yx := pathCost(f.key[0], f.key[1], RouteYX, f.rate)
+		xy := pathCost(f.src, f.dst, RouteXY, f.rate)
+		yx := pathCost(f.src, f.dst, RouteYX, f.rate)
 		if yx < xy {
-			addPath(f.key[0], f.key[1], RouteYX, f.rate)
+			addPath(f.src, f.dst, RouteYX, f.rate)
 		} else {
-			addPath(f.key[0], f.key[1], RouteXY, f.rate)
+			addPath(f.src, f.dst, RouteXY, f.rate)
 		}
 	}
 	// Refinement pass: re-place each flow against the full residual load.
 	for _, f := range flows {
-		cur := m.RouteOf(f.key[0], f.key[1])
-		removePath(f.key[0], f.key[1], f.rate)
-		xy := pathCost(f.key[0], f.key[1], RouteXY, f.rate)
-		yx := pathCost(f.key[0], f.key[1], RouteYX, f.rate)
+		cur := m.RouteOf(f.src, f.dst)
+		removePath(f.src, f.dst, f.rate)
+		xy := pathCost(f.src, f.dst, RouteXY, f.rate)
+		yx := pathCost(f.src, f.dst, RouteYX, f.rate)
 		best := RouteXY
 		if yx < xy {
 			best = RouteYX
 		} else if yx == xy {
 			best = cur
 		}
-		addPath(f.key[0], f.key[1], best, f.rate)
+		addPath(f.src, f.dst, best, f.rate)
 	}
 	m.fresh = false
+	m.invalidateLat()
+	m.invalidateEnergy()
 	return m.MaxUtilization()
 }
 
 // ResetRoutes restores the default XY routing table.
 func (m *Mesh) ResetRoutes() {
-	m.table = make(map[[2]int]Route)
+	for i := range m.table {
+		m.table[i] = RouteXY
+	}
 	m.fresh = false
+	m.invalidateLat()
+	m.invalidateEnergy()
 }

@@ -21,6 +21,14 @@
 // granularity for the chip simulator (which needs latencies and energies
 // as functions of configuration), while the unit tests pin down the
 // relative effects the paper's citations report.
+//
+// The routing table and flow matrix are dense n×n slices indexed by
+// src*n+dst (the memory-mapped layout real hardware would use), and
+// per-pair latencies and flit energies are memoized in tables that are
+// invalidated wholesale on reconfiguration. A warmed mesh therefore
+// answers LatencyCycles/EnergyPJPerFlit with two array loads and no
+// allocation — the property the trace-driven simulator's hot loop
+// depends on.
 package noc
 
 import (
@@ -85,14 +93,28 @@ func DefaultConfig(w, h int) Config {
 // Mesh is the network instance: topology, routing table, registered
 // flows and computed link loads.
 type Mesh struct {
-	cfg   Config
-	n     int
-	table map[[2]int]Route // AOR routing table; default XY
-	flows map[[2]int]float64
+	cfg Config
+	n   int
+
+	table  []Route   // AOR routing table, n×n; default XY
+	flows  []float64 // flow matrix, n×n, flits/cycle
+	nflows int       // live (nonzero, src≠dst) entries in flows
 
 	loads    []float64 // flits/cycle per directed link
 	capacity []float64 // effective capacity per directed link
 	fresh    bool      // loads/capacity up to date
+
+	// Memoized per-pair results. An entry i is valid iff its epoch
+	// matches the mesh's: invalidation is a single counter bump, never an
+	// O(n²) clear. Latencies depend on routes + flows + capacities;
+	// energies only on routes.
+	lat      []float64
+	latEpoch []uint32
+	epoch    uint32
+
+	energy   []float64
+	engEpoch []uint32
+	eEpoch   uint32
 }
 
 // NewMesh builds a mesh. Width and height must be positive.
@@ -105,10 +127,16 @@ func NewMesh(cfg Config) (*Mesh, error) {
 	}
 	n := cfg.Width * cfg.Height
 	m := &Mesh{
-		cfg:   cfg,
-		n:     n,
-		table: make(map[[2]int]Route),
-		flows: make(map[[2]int]float64),
+		cfg:      cfg,
+		n:        n,
+		table:    make([]Route, n*n),
+		flows:    make([]float64, n*n),
+		lat:      make([]float64, n*n),
+		latEpoch: make([]uint32, n*n),
+		epoch:    1,
+		energy:   make([]float64, n*n),
+		engEpoch: make([]uint32, n*n),
+		eEpoch:   1,
 	}
 	m.loads = make([]float64, n*int(numDirs))
 	m.capacity = make([]float64, n*int(numDirs))
@@ -158,19 +186,88 @@ func (m *Mesh) pair(node int, d Direction) (pairKey [3]int, side int) {
 	}
 }
 
+// invalidateLat drops every memoized latency (flows, routes or
+// capacities changed).
+func (m *Mesh) invalidateLat() { m.epoch++ }
+
+// invalidateEnergy drops every memoized flit energy (routes changed).
+func (m *Mesh) invalidateEnergy() { m.eEpoch++ }
+
 // SetRoute writes one routing-table entry (the software interface AOR
 // exposes).
 func (m *Mesh) SetRoute(src, dst int, r Route) {
-	m.table[[2]int{src, dst}] = r
+	m.table[src*m.n+dst] = r
 	m.fresh = false
+	m.invalidateLat()
+	m.invalidateEnergy()
 }
 
 // RouteOf reads the routing-table entry (default XY).
 func (m *Mesh) RouteOf(src, dst int) Route {
-	return m.table[[2]int{src, dst}]
+	return m.table[src*m.n+dst]
 }
 
-// hop is one step of a path.
+// pathIter walks the dimension-ordered route for one (src, dst) pair hop
+// by hop without allocating — the hot loops (latency memo fill, load
+// accumulation, AOR placement) all drive it.
+type pathIter struct {
+	m            *Mesh
+	x, y, dx, dy int
+	xFirst       bool
+	started      bool
+
+	node int
+	dir  Direction
+	turn bool
+}
+
+// pathFrom positions an iterator at src heading for dst under the
+// current routing table.
+func (m *Mesh) pathFrom(src, dst int) pathIter {
+	sx, sy := m.xy(src)
+	dx, dy := m.xy(dst)
+	return pathIter{
+		m: m, x: sx, y: sy, dx: dx, dy: dy,
+		xFirst: m.table[src*m.n+dst] == RouteXY,
+	}
+}
+
+// next advances to the following hop, reporting false past the last.
+func (it *pathIter) next() bool {
+	var d Direction
+	switch {
+	case it.xFirst && it.x != it.dx, !it.xFirst && it.y == it.dy && it.x != it.dx:
+		d = East
+		if it.dx < it.x {
+			d = West
+		}
+	case it.y != it.dy:
+		d = North
+		if it.dy < it.y {
+			d = South
+		}
+	default:
+		return false
+	}
+	it.node = it.m.node(it.x, it.y)
+	it.turn = it.started && d != it.dir
+	it.dir = d
+	it.started = true
+	switch d {
+	case East:
+		it.x++
+	case West:
+		it.x--
+	case North:
+		it.y++
+	default:
+		it.y--
+	}
+	return true
+}
+
+// hop is one step of a path (kept for tests and tooling; the hot paths
+// use pathIter directly).
 type hop struct {
 	node int
 	dir  Direction
@@ -179,44 +276,9 @@ type hop struct {
 
 // path expands the dimension-ordered route for (src, dst).
 func (m *Mesh) path(src, dst int) []hop {
-	sx, sy := m.xy(src)
-	dx, dy := m.xy(dst)
-	var hops []hop
-	walkX := func(x, y int) int {
-		for x != dx {
-			d := East
-			step := 1
-			if dx < x {
-				d = West
-				step = -1
-			}
-			hops = append(hops, hop{node: m.node(x, y), dir: d})
-			x += step
-		}
-		return x
-	}
-	walkY := func(x, y int) int {
-		for y != dy {
-			d := North
-			step := 1
-			if dy < y {
-				d = South
-				step = -1
-			}
-			hops = append(hops, hop{node: m.node(x, y), dir: d})
-			y += step
-		}
-		return y
-	}
-	if m.RouteOf(src, dst) == RouteXY {
-		x := walkX(sx, sy)
-		walkY(x, sy)
-	} else {
-		y := walkY(sx, sy)
-		walkX(sx, y)
-	}
-	for i := 1; i < len(hops); i++ {
-		hops[i].turn = hops[i].dir != hops[i-1].dir
+	hops := make([]hop, 0, m.Hops(src, dst))
+	for it := m.pathFrom(src, dst); it.next(); {
+		hops = append(hops, hop{node: it.node, dir: it.dir, turn: it.turn})
 	}
 	return hops
 }
@@ -230,20 +292,45 @@ func (m *Mesh) SetFlow(src, dst int, rate float64) error {
 	if rate < 0 {
 		return fmt.Errorf("noc: negative flow rate %g", rate)
 	}
-	k := [2]int{src, dst}
-	if rate == 0 {
-		delete(m.flows, k)
-	} else {
-		m.flows[k] = rate
+	k := src*m.n + dst
+	if src != dst {
+		switch {
+		case m.flows[k] == 0 && rate > 0:
+			m.nflows++
+		case m.flows[k] > 0 && rate == 0:
+			m.nflows--
+		}
 	}
+	m.flows[k] = rate
 	m.fresh = false
+	m.invalidateLat()
 	return nil
 }
 
 // ClearFlows drops all registered flows.
 func (m *Mesh) ClearFlows() {
-	m.flows = make(map[[2]int]float64)
+	for i := range m.flows {
+		m.flows[i] = 0
+	}
+	m.nflows = 0
 	m.fresh = false
+	m.invalidateLat()
+}
+
+// forEachFlow visits every live flow (src ≠ dst, rate > 0) in row-major
+// order.
+func (m *Mesh) forEachFlow(fn func(src, dst int, rate float64)) {
+	if m.nflows == 0 {
+		return
+	}
+	for src := 0; src < m.n; src++ {
+		row := m.flows[src*m.n : (src+1)*m.n]
+		for dst, rate := range row {
+			if rate > 0 && src != dst {
+				fn(src, dst, rate)
+			}
+		}
+	}
 }
 
 // recompute fills link loads and (BAN-aware) capacities.
@@ -254,14 +341,11 @@ func (m *Mesh) recompute() {
 	for i := range m.loads {
 		m.loads[i] = 0
 	}
-	for k, rate := range m.flows {
-		if k[0] == k[1] {
-			continue
+	m.forEachFlow(func(src, dst int, rate float64) {
+		for it := m.pathFrom(src, dst); it.next(); {
+			m.loads[m.linkID(it.node, it.dir)] += rate
 		}
-		for _, h := range m.path(k[0], k[1]) {
-			m.loads[m.linkID(h.node, h.dir)] += rate
-		}
-	}
+	})
 	// Capacity: fixed per direction, or BAN-split by demand.
 	if !m.cfg.BAN {
 		for i := range m.capacity {
@@ -307,6 +391,7 @@ func (m *Mesh) recompute() {
 		}
 	}
 	m.fresh = true
+	m.invalidateLat()
 }
 
 func clamp(v, lo, hi float64) float64 {
@@ -332,41 +417,59 @@ func (m *Mesh) utilization(id int) float64 {
 // LatencyCycles is the end-to-end latency of one packet from src to dst
 // under the current flows: per-hop pipeline (with EVC bypass on
 // straight hops), link traversal, and M/M/1-style queueing delay on
-// loaded links. It satisfies the cache.Network interface.
+// loaded links. It satisfies the cache.Network interface. Results are
+// memoized per pair until the next reconfiguration, so the simulator's
+// per-access calls cost two array loads.
 func (m *Mesh) LatencyCycles(src, dst int) float64 {
 	if src == dst {
 		return 0
 	}
 	m.recompute()
+	k := src*m.n + dst
+	if m.latEpoch[k] == m.epoch {
+		return m.lat[k]
+	}
 	total := 0.0
-	hops := m.path(src, dst)
-	for i, h := range hops {
+	first := true
+	for it := m.pathFrom(src, dst); it.next(); {
 		router := m.cfg.RouterCycles
-		if m.cfg.EVC && i > 0 && !h.turn {
+		if m.cfg.EVC && !first && !it.turn {
 			router = m.cfg.EVCCycles
 		}
-		id := m.linkID(h.node, h.dir)
+		first = false
+		id := m.linkID(it.node, it.dir)
 		util := m.utilization(id)
 		queue := util / (1 - util) / m.capacity[id]
 		total += router + m.cfg.LinkCycles + queue
 	}
+	m.lat[k] = total
+	m.latEpoch[k] = m.epoch
 	return total
 }
 
 // EnergyPJPerFlit is the per-flit transport energy from src to dst:
 // every hop pays switch + link; hops that cannot bypass also pay buffer.
+// Memoized per pair until the routing table changes.
 func (m *Mesh) EnergyPJPerFlit(src, dst int) float64 {
 	if src == dst {
 		return 0
 	}
+	k := src*m.n + dst
+	if m.engEpoch[k] == m.eEpoch {
+		return m.energy[k]
+	}
 	total := 0.0
-	for i, h := range m.path(src, dst) {
+	first := true
+	for it := m.pathFrom(src, dst); it.next(); {
 		e := m.cfg.SwitchPJ + m.cfg.LinkPJ
-		if !(m.cfg.EVC && i > 0 && !h.turn) {
+		if !(m.cfg.EVC && !first && !it.turn) {
 			e += m.cfg.BufferPJ
 		}
+		first = false
 		total += e
 	}
+	m.energy[k] = total
+	m.engEpoch[k] = m.eEpoch
 	return total
 }
 
@@ -393,10 +496,10 @@ func (m *Mesh) MaxUtilization() float64 {
 func (m *Mesh) AvgFlowLatency() float64 {
 	m.recompute()
 	num, den := 0.0, 0.0
-	for k, rate := range m.flows {
-		num += rate * m.LatencyCycles(k[0], k[1])
+	m.forEachFlow(func(src, dst int, rate float64) {
+		num += rate * m.LatencyCycles(src, dst)
 		den += rate
-	}
+	})
 	if den == 0 {
 		return 0
 	}

@@ -276,18 +276,17 @@ func TestAORKeepsDimensionOrderedPaths(t *testing.T) {
 		}
 	}
 	m.OptimizeAOR()
-	for k := range m.flows {
-		hops := m.path(k[0], k[1])
+	m.forEachFlow(func(src, dst int, _ float64) {
 		turns := 0
-		for _, h := range hops {
+		for _, h := range m.path(src, dst) {
 			if h.turn {
 				turns++
 			}
 		}
 		if turns > 1 {
-			t.Fatalf("route %v has %d turns; dimension-ordered routes turn at most once", k, turns)
+			t.Fatalf("route %d→%d has %d turns; dimension-ordered routes turn at most once", src, dst, turns)
 		}
-	}
+	})
 }
 
 func TestAvgFlowLatencyWeighting(t *testing.T) {

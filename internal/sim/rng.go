@@ -103,6 +103,15 @@ type Zipf struct {
 
 // NewZipf builds a Zipf sampler over [0, n) with exponent s >= 0.
 func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	return NewZipfFromCDF(rng, ZipfCDF(n, s))
+}
+
+// ZipfCDF precomputes the harmonic CDF table for [0, n) with exponent
+// s. The table depends only on (n, s), so callers building many
+// samplers over the same distribution (one per core of a swept
+// configuration) can compute it once and share it — the math.Pow loop
+// here is by far the expensive part of sampler construction.
+func ZipfCDF(n int, s float64) []float64 {
 	if n <= 0 {
 		panic("sim: Zipf with non-positive n")
 	}
@@ -114,6 +123,15 @@ func NewZipf(rng *RNG, n int, s float64) *Zipf {
 	}
 	for i := range cdf {
 		cdf[i] /= sum
+	}
+	return cdf
+}
+
+// NewZipfFromCDF wraps a precomputed ZipfCDF table. The table is read,
+// never written: any number of samplers may share one.
+func NewZipfFromCDF(rng *RNG, cdf []float64) *Zipf {
+	if len(cdf) == 0 {
+		panic("sim: Zipf with empty CDF")
 	}
 	return &Zipf{cdf: cdf, rng: rng}
 }

@@ -1,6 +1,10 @@
 package workload
 
-import "angstrom/internal/sim"
+import (
+	"sync"
+
+	"angstrom/internal/sim"
+)
 
 // TraceGen produces the synthetic per-core address stream that drives
 // the detailed (trace-driven) cache and coherence simulation. Addresses
@@ -54,8 +58,8 @@ func NewTraceGen(spec Spec, cores, coreID int, seed uint64) *TraceGen {
 		sharedFrac:  spec.SharedWSKB / total,
 		writeFrac:   0.3,
 	}
-	g.sharedZipf = sim.NewZipf(rng.Split(1), sharedLines, spec.ZipfS)
-	g.privZipf = sim.NewZipf(rng.Split(2), privLines, spec.ZipfS)
+	g.sharedZipf = sim.NewZipfFromCDF(rng.Split(1), zipfTable(sharedLines, spec.ZipfS))
+	g.privZipf = sim.NewZipfFromCDF(rng.Split(2), zipfTable(privLines, spec.ZipfS))
 	// Private regions are disjoint across cores and from the shared one.
 	g.privBase = uint64(sharedLines) + uint64(coreID)*uint64(privLines)
 	return g
@@ -68,6 +72,29 @@ func (g *TraceGen) Next() (line uint64, write bool) {
 		return sharedBase + uint64(g.sharedZipf.Draw()), write
 	}
 	return g.privBase + uint64(g.privZipf.Draw()), write
+}
+
+// zipfCache memoizes Zipf CDF tables by (lines, skew). Every core of a
+// c-core trace draws from the same two distributions, and a sweep
+// re-visits the same handful of (lines, skew) pairs for every
+// configuration, so sharing the tables removes the dominant cost of
+// trace-generator construction. The tables are immutable once built;
+// sync.Map keeps concurrent sweep workers safe, and a duplicated
+// computation under a race is identical, so determinism is unaffected.
+var zipfCache sync.Map // zipfKey -> []float64
+
+type zipfKey struct {
+	n int
+	s float64
+}
+
+func zipfTable(n int, s float64) []float64 {
+	k := zipfKey{n: n, s: s}
+	if t, ok := zipfCache.Load(k); ok {
+		return t.([]float64)
+	}
+	t, _ := zipfCache.LoadOrStore(k, sim.ZipfCDF(n, s))
+	return t.([]float64)
 }
 
 // SharedLines reports the size of the shared region in lines.
