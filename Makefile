@@ -2,7 +2,7 @@
 #
 #   make build   compile every package
 #   make vet     static analysis
-#   make test    tier-1 verification (build + full test suite)
+#   make test    tier-1 verification (build + vet + full test suite with -race)
 #   make bench   run all benchmarks with allocation stats into bench.out
 #   make bench-json  bench + record the BENCH_<date>.json trajectory file
 
@@ -16,8 +16,8 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: build
-	$(GO) test ./...
+test: build vet
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . | tee bench.out

@@ -6,7 +6,13 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"angstrom/internal/actuator"
 	"angstrom/internal/angstrom"
@@ -15,6 +21,7 @@ import (
 	"angstrom/internal/experiment"
 	"angstrom/internal/heartbeat"
 	"angstrom/internal/noc"
+	"angstrom/internal/server"
 	"angstrom/internal/sim"
 	"angstrom/internal/workload"
 	"angstrom/internal/xeon"
@@ -355,5 +362,102 @@ func BenchmarkChipEvaluateDetailed(b *testing.B) {
 		if _, err := angstrom.EvaluateDetailed(p, spec, cfg, 20000, uint64(i)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Serving daemon benchmarks (PR 2) -------------------------------
+//
+// The daemon's two hot paths: beat ingestion (per-request) and the ODA
+// tick (per decision period, scanning every enrolled application).
+
+// newBenchDaemon builds an accelerated daemon with n enrolled apps.
+func newBenchDaemon(b *testing.B, n int) *server.Daemon {
+	b.Helper()
+	d, err := server.NewDaemon(server.Config{Cores: 4096, Accel: 0.1, Period: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"barnes", "ocean", "raytrace", "water", "volrend"}
+	for i := 0; i < n; i++ {
+		err := d.Enroll(server.EnrollRequest{
+			Name:     fmt.Sprintf("app-%04d", i),
+			Workload: names[i%len(names)],
+			MinRate:  50,
+			MaxRate:  70,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return d
+}
+
+// BenchmarkDaemonBeat measures direct beat ingestion — registry lookup
+// plus the O(1) monitor ring insert — under full parallel contention.
+func BenchmarkDaemonBeat(b *testing.B) {
+	d := newBenchDaemon(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		name := fmt.Sprintf("app-%04d", next.Add(1)%64)
+		for pb.Next() {
+			if err := d.Beat(name, 1, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDaemonHTTPBeats measures the full request path of the
+// daemon's hottest endpoint: JSON decode, registry lookup, a 10-beat
+// batch, JSON-free 202.
+func BenchmarkDaemonHTTPBeats(b *testing.B) {
+	d := newBenchDaemon(b, 8)
+	ts := httptest.NewServer(d.Handler())
+	defer ts.Close()
+	body := []byte(`{"count": 10}`)
+	url := ts.URL + "/v1/apps/app-0000/beats"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}
+
+// BenchmarkDaemonTick1000 measures one ODA decision period over 1000
+// enrolled applications: manager water-filling plus 1000 SEEC runtime
+// steps.
+func BenchmarkDaemonTick1000(b *testing.B) {
+	d := newBenchDaemon(b, 1000)
+	for i := 0; i < 1000; i++ {
+		if err := d.Beat(fmt.Sprintf("app-%04d", i), 8, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Tick()
+	}
+}
+
+// BenchmarkMonitorBeatWindow4096 gates the circular-buffer fix: the
+// per-beat cost must not scale with the window (the pre-PR-2 ring
+// shifted O(window) records per beat).
+func BenchmarkMonitorBeatWindow4096(b *testing.B) {
+	clock := sim.NewClock(0)
+	mon := heartbeat.New(clock, heartbeat.WithWindow(4096))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock.Advance(1e-6)
+		mon.Beat()
 	}
 }

@@ -1,0 +1,81 @@
+// Angstromd is the SEEC serving daemon: a long-running
+// observe–decide–act loop multiplexing many applications over an
+// HTTP/JSON API. Applications enroll with a performance goal, POST
+// heartbeats (batched) as they make progress, and read back the
+// runtime's latest decision and water-filled core allocation.
+//
+//	angstromd -addr :8090 -cores 4096 -period 100ms
+//
+// Endpoints (see internal/server):
+//
+//	GET    /healthz
+//	GET    /v1/stats
+//	GET    /v1/apps
+//	POST   /v1/apps               {"name","workload","window","min_rate","max_rate"}
+//	GET    /v1/apps/{name}
+//	DELETE /v1/apps/{name}
+//	POST   /v1/apps/{name}/beats  {"count","distortion"}
+//	PUT    /v1/apps/{name}/goal   {"min_rate","max_rate"}
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"angstrom/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	addr := flag.String("addr", ":8090", "listen address")
+	cores := flag.Int("cores", 4096, "shared core pool arbitrated across applications")
+	period := flag.Duration("period", 100*time.Millisecond, "decision period of the ODA loop")
+	accel := flag.Float64("accel", 0, "simulated seconds per tick (0 = serve in real time)")
+	window := flag.Int("window", 0, "default heartbeat window in beats (0 = library default)")
+	flag.Parse()
+
+	d, err := server.NewDaemon(server.Config{
+		Cores:  *cores,
+		Period: *period,
+		Accel:  *accel,
+		Window: *window,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d.Start()
+	defer d.Stop()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           d.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("angstromd: serving on %s (cores=%d period=%s accel=%g)",
+		*addr, *cores, *period, *accel)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	stats := d.Stats()
+	log.Printf("angstromd: stopped after %d ticks, %d beats, %d decisions",
+		stats.Ticks, stats.Beats, stats.Decisions)
+}

@@ -1,0 +1,191 @@
+// Loadgen drives the angstromd serving daemon with thousands of
+// concurrent synthetic heartbeat streams — the serving-side counterpart
+// of the paper's multi-application scenario (§3.3): every stream
+// enrolls with its own performance goal, beats over HTTP in batches,
+// and reads back the decisions the ODA loop makes for it while the
+// manager water-fills the shared core pool.
+//
+// By default it spawns a daemon in-process on a loopback port; point
+// -addr at a running angstromd to load a real deployment.
+//
+// Run: go run ./examples/loadgen -apps 1000 -duration 10s
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"angstrom/internal/server"
+)
+
+var workloads = []string{"barnes", "ocean", "raytrace", "water", "volrend"}
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", "", "daemon base URL (empty: spawn one in-process)")
+	apps := flag.Int("apps", 1000, "concurrent synthetic applications")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	rate := flag.Float64("rate", 20, "beats/s each application targets")
+	batch := flag.Int("batch", 10, "beats per POST")
+	cores := flag.Int("cores", 4096, "core pool of the spawned daemon")
+	period := flag.Duration("period", 100*time.Millisecond, "decision period of the spawned daemon")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		d, err := server.NewDaemon(server.Config{Cores: *cores, Period: *period})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d.Start()
+		defer d.Stop()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := &http.Server{Handler: d.Handler()}
+		go func() {
+			if err := srv.Serve(ln); err != http.ErrServerClosed {
+				log.Print(err)
+			}
+		}()
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+		log.Printf("spawned angstromd on %s (cores=%d period=%s)", base, *cores, *period)
+	}
+
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        *apps * 2,
+			MaxIdleConnsPerHost: *apps * 2,
+		},
+		Timeout: 10 * time.Second,
+	}
+
+	var (
+		beats    atomic.Uint64
+		requests atomic.Uint64
+		errs     atomic.Uint64
+		latMu    sync.Mutex
+		lats     []time.Duration
+	)
+	post := func(path string, body any) error {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		lat := time.Since(t0)
+		latMu.Lock()
+		lats = append(lats, lat)
+		latMu.Unlock()
+		requests.Add(1)
+		if resp.StatusCode >= 300 {
+			return fmt.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+
+	log.Printf("enrolling %d applications...", *apps)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *apps; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("app-%04d", i)
+			goal := *rate
+			req := server.EnrollRequest{
+				Name:     name,
+				Workload: workloads[i%len(workloads)],
+				// Batched beats land in bursts of near-identical
+				// timestamps, so average over many batches: a window of
+				// ~20 batches keeps the rate estimate within a few
+				// percent of the true stream rate. Large windows are
+				// cheap since the monitor ring became O(1) per beat.
+				Window:  20 * *batch,
+				MinRate: goal * 0.9,
+				MaxRate: goal * 1.1,
+			}
+			if err := post("/v1/apps", req); err != nil {
+				errs.Add(1)
+				return
+			}
+			// Desynchronize the fleet, then beat in batches until the
+			// deadline.
+			interval := time.Duration(float64(*batch) / *rate * float64(time.Second))
+			time.Sleep(time.Duration(rand.Int63n(int64(interval) + 1)))
+			for time.Now().Before(deadline) {
+				if err := post("/v1/apps/"+name+"/beats", server.BeatRequest{Count: *batch}); err != nil {
+					errs.Add(1)
+				} else {
+					beats.Add(uint64(*batch))
+				}
+				time.Sleep(interval)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Read the fleet's end state back through the API.
+	var stats server.StatsResponse
+	if resp, err := client.Get(base + "/v1/stats"); err == nil {
+		json.NewDecoder(resp.Body).Decode(&stats)
+		resp.Body.Close()
+	}
+	var list []server.AppStatus
+	if resp, err := client.Get(base + "/v1/apps"); err == nil {
+		json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+	}
+	decided, met := 0, 0
+	for _, st := range list {
+		if st.Decision != nil {
+			decided++
+		}
+		if st.GoalMet {
+			met++
+		}
+	}
+
+	latMu.Lock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(lats)-1))
+		return lats[idx]
+	}
+	p50, p99, max := pct(0.50), pct(0.99), pct(1.0)
+	latMu.Unlock()
+
+	elapsed := duration.Seconds()
+	fmt.Printf("\n=== loadgen: %d apps for %s against %s ===\n", *apps, duration, base)
+	fmt.Printf("ingested   %d beats (%.0f beats/s), %d requests (%.0f req/s), %d errors\n",
+		beats.Load(), float64(beats.Load())/elapsed,
+		requests.Load(), float64(requests.Load())/elapsed, errs.Load())
+	fmt.Printf("latency    p50 %s  p99 %s  max %s\n", p50, p99, max)
+	fmt.Printf("oda loop   %d ticks, %d decisions (%.0f decisions/s)\n",
+		stats.Ticks, stats.Decisions, float64(stats.Decisions)/elapsed)
+	fmt.Printf("fleet      %d enrolled, %d with decisions, %d meeting their goal band\n",
+		stats.Apps, decided, met)
+	if errs.Load() > 0 {
+		log.Printf("WARNING: %d request errors", errs.Load())
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"angstrom/internal/heartbeat"
+	"angstrom/internal/sim"
 	"angstrom/internal/workload"
 )
 
@@ -470,5 +472,92 @@ func TestEvaluateDetailedRejectsTinyTrace(t *testing.T) {
 	if _, err := EvaluateDetailed(p, defaultSpec(t, "barnes"),
 		Config{Cores: 4, CacheKB: 64, VF: 1}, 10, 1); err == nil {
 		t.Fatal("tiny trace accepted")
+	}
+}
+
+// testChip builds a one-core chip with barnes attached, for regression
+// tests on the ODA hot loop.
+func testChip(t *testing.T) (*Chip, *sim.Clock) {
+	t.Helper()
+	clock := sim.NewClock(0)
+	ch, err := NewChip(DefaultParams(), Config{Cores: 1, CacheKB: 64, VF: 0}, 4, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Attach(workload.NewInstance(defaultSpec(t, "barnes"), 1), heartbeat.New(clock))
+	return ch, clock
+}
+
+// Regression: CPI < 1 made (1 - 1/CPI) negative and the float→uint64
+// conversion implementation-defined, corrupting the stall counter with
+// values near 2^64. Stalls must clamp at zero.
+func TestUpdateTilesClampsNegativeStallFraction(t *testing.T) {
+	ch, _ := testChip(t)
+	m := Metrics{IPS: 1e9, CPI: 0.5, PowerW: 10, MissRate: 0.1}
+	ch.updateTiles(m, 1.0)
+	if got := ch.Tiles[0].Counters.Read(CtrStallCycles); got != 0 {
+		t.Fatalf("stall counter = %d with CPI 0.5, want 0", got)
+	}
+	// Sanity: CPI > 1 still records stalls.
+	ch2, _ := testChip(t)
+	ch2.updateTiles(Metrics{IPS: 1e9, CPI: 2, PowerW: 10, MissRate: 0.1}, 1.0)
+	if got := ch2.Tiles[0].Counters.Read(CtrStallCycles); got == 0 {
+		t.Fatal("stall counter = 0 with CPI 2, want > 0")
+	}
+}
+
+// Regression: PowerW below the uncore floor made perCorePower negative
+// and corrupted the per-tile energy counter the same way.
+func TestUpdateTilesClampsNegativePerCorePower(t *testing.T) {
+	ch, _ := testChip(t)
+	p := ch.Params()
+	m := Metrics{IPS: 1e9, CPI: 2, PowerW: p.UncoreW / 2, MissRate: 0.1}
+	ch.updateTiles(m, 1.0)
+	if got := ch.Tiles[0].Counters.Read(CtrEnergyNJ); got != 0 {
+		t.Fatalf("energy counter = %d with PowerW below uncore, want 0", got)
+	}
+	if got := ch.Tiles[0].Counters.Read(CtrStallCycles); got == 0 {
+		t.Fatal("stall counter should still accumulate with CPI 2")
+	}
+}
+
+// Regression: advance with IPS <= 0 (or NaN) divided by zero and moved
+// the clock by ±Inf/NaN; it must error without advancing time.
+func TestAdvanceRejectsNonPositiveIPS(t *testing.T) {
+	for _, ips := range []float64{0, -1e9, math.NaN()} {
+		ch, clock := testChip(t)
+		if err := ch.advance(Metrics{IPS: ips}, 1.0); err == nil {
+			t.Fatalf("advance accepted IPS %g", ips)
+		}
+		if clock.Now() != 0 {
+			t.Fatalf("clock moved to %g on rejected IPS %g", clock.Now(), ips)
+		}
+	}
+}
+
+// Regression: a non-positive per-beat work target span the loop forever
+// (tBeat <= 0 never reaches the interval end); it must error instead.
+func TestAdvanceRejectsNonPositiveWork(t *testing.T) {
+	clock := sim.NewClock(0)
+	ch, err := NewChip(DefaultParams(), Config{Cores: 1, CacheKB: 64, VF: 0}, 4, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := defaultSpec(t, "barnes")
+	bad.InstrPerBeat = -5 // bypasses Validate: NewInstance does not validate
+	ch.Attach(workload.NewInstance(bad, 1), heartbeat.New(clock))
+	if err := ch.advance(Metrics{IPS: 1e9}, 1.0); err == nil {
+		t.Fatal("advance accepted non-positive work per beat")
+	}
+}
+
+// RunInterval still emits beats and accounts energy after the guards.
+func TestRunIntervalStillBeats(t *testing.T) {
+	ch, _ := testChip(t)
+	if _, err := ch.RunInterval(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Energy.EnergyJoules() <= 0 {
+		t.Fatal("no energy accounted")
 	}
 }

@@ -123,9 +123,30 @@ func (ch *Chip) RunInterval(dt float64) (Metrics, error) {
 	if dt <= 0 {
 		return m, fmt.Errorf("angstrom: non-positive interval %g", dt)
 	}
+	if err := ch.advance(m, dt); err != nil {
+		return m, err
+	}
+	ch.updateTiles(m, dt)
+	return m, nil
+}
+
+// advance runs the beat-emission loop for dt seconds under metrics m.
+// It rejects non-positive IPS and non-positive per-beat work up front:
+// either would advance the clock by ±Inf/NaN or spin forever.
+func (ch *Chip) advance(m Metrics, dt float64) error {
+	if m.IPS <= 0 || math.IsNaN(m.IPS) {
+		return fmt.Errorf("angstrom: model IPS %g is not positive; cannot advance", m.IPS)
+	}
 	end := ch.clock.Now() + dt
 	for ch.clock.Now() < end-1e-12 {
-		need := ch.inst.WorkForBeat(ch.beat) - ch.workCarry
+		work := ch.inst.WorkForBeat(ch.beat)
+		if work <= 0 || math.IsNaN(work) {
+			return fmt.Errorf("angstrom: work %g for beat %d is not positive", work, ch.beat)
+		}
+		need := work - ch.workCarry
+		if need < 0 {
+			need = 0 // carry overshoot (config change mid-beat): emit now
+		}
 		tBeat := need / m.IPS
 		if ch.clock.Now()+tBeat <= end {
 			ch.clock.Advance(tBeat)
@@ -142,8 +163,7 @@ func (ch *Chip) RunInterval(dt float64) (Metrics, error) {
 			ch.accountEnergy(m, rem)
 		}
 	}
-	ch.updateTiles(m, dt)
-	return m, nil
+	return nil
 }
 
 // accountEnergy integrates chip energy (and battery) over a slice.
@@ -159,11 +179,22 @@ func (ch *Chip) accountEnergy(m Metrics, dt float64) {
 func (ch *Chip) updateTiles(m Metrics, dt float64) {
 	perCoreInstr := uint64(m.IPS * dt / float64(ch.cfg.Cores))
 	perCoreCycles := uint64(ch.p.VF[ch.cfg.VF].FHz * dt)
+	// Both fractions below can go negative — CPI < 1 on a superscalar
+	// model, or PowerW below the uncore floor — and a negative
+	// float→uint64 conversion is implementation-defined in Go, which
+	// corrupted the stall and energy counters. Clamp at zero.
 	perCorePower := (m.PowerW - ch.p.UncoreW) / float64(ch.cfg.Cores)
+	if perCorePower < 0 || math.IsNaN(perCorePower) {
+		perCorePower = 0
+	}
+	stallFrac := 1 - 1/m.CPI
+	if stallFrac < 0 || math.IsNaN(stallFrac) {
+		stallFrac = 0
+	}
 	spec := ch.inst.Spec
 	memOps := uint64(float64(perCoreInstr) * spec.MemOpsPerInstr)
 	misses := uint64(float64(memOps) * m.MissRate)
-	stalls := uint64(float64(perCoreCycles) * (1 - 1/m.CPI))
+	stalls := uint64(float64(perCoreCycles) * stallFrac)
 	for i, t := range ch.Tiles {
 		if i < ch.cfg.Cores {
 			t.Counters.Add(CtrInstructions, perCoreInstr)

@@ -80,6 +80,21 @@ func (m *Manager) AddApp(name string, mon *heartbeat.Monitor, scaling func(int) 
 	return nil
 }
 
+// RemoveApp withdraws an application (e.g. at exit), freeing its share
+// for the next Step. It reports whether the application was managed.
+func (m *Manager) RemoveApp(name string) bool {
+	for i, a := range m.apps {
+		if a.name == name {
+			m.apps = append(m.apps[:i], m.apps[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Apps reports how many applications are currently managed.
+func (m *Manager) Apps() int { return len(m.apps) }
+
 // Allocation is one application's share after a decision.
 type Allocation struct {
 	App     string

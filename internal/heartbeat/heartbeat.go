@@ -50,6 +50,8 @@ type Monitor struct {
 	meter  EnergyMeter // optional
 	window int
 	ring   []Record // circular buffer of the last `window` beats
+	start  int      // ring index of the oldest retained record
+	size   int      // retained records (<= window)
 	count  uint64   // total beats ever emitted
 	first  sim.Time // time of first beat
 	goals  Goals
@@ -83,7 +85,7 @@ func New(clock sim.Nower, opts ...Option) *Monitor {
 	if m.window < 2 {
 		panic(fmt.Sprintf("heartbeat: window %d too small (need >= 2)", m.window))
 	}
-	m.ring = make([]Record, 0, m.window)
+	m.ring = make([]Record, m.window)
 	return m
 }
 
@@ -122,18 +124,26 @@ func (m *Monitor) emit(tag uint64, distortion float64) {
 			rec.Rate = 1 / rec.Latency
 		}
 	}
-	if len(m.ring) < m.window {
-		m.ring = append(m.ring, rec)
+	// O(1) circular insert: overwrite the oldest slot once the window is
+	// full. This is the per-beat hot path of the serving daemon — the old
+	// copy(m.ring, m.ring[1:]) shift was O(window) per beat.
+	if m.size < m.window {
+		m.ring[(m.start+m.size)%m.window] = rec
+		m.size++
 	} else {
-		copy(m.ring, m.ring[1:])
-		m.ring[len(m.ring)-1] = rec
+		m.ring[m.start] = rec
+		m.start = (m.start + 1) % m.window
 	}
 	m.count++
 }
 
+// at returns the i-th oldest retained record (0 <= i < m.size); caller
+// holds m.mu.
+func (m *Monitor) at(i int) Record { return m.ring[(m.start+i)%m.window] }
+
 // last returns the most recent record; caller holds m.mu and has checked
 // m.count > 0.
-func (m *Monitor) last() Record { return m.ring[len(m.ring)-1] }
+func (m *Monitor) last() Record { return m.at(m.size - 1) }
 
 // Count reports the total number of beats emitted so far.
 func (m *Monitor) Count() uint64 {
@@ -162,15 +172,15 @@ func (m *Monitor) Observe() Observation {
 	defer m.mu.Unlock()
 	var o Observation
 	o.Beats = m.count
-	if len(m.ring) == 0 {
+	if m.size == 0 {
 		return o
 	}
 	newest := m.last()
 	o.LastTime = newest.Time
 	if m.count >= 2 {
-		oldest := m.ring[0]
+		oldest := m.at(0)
 		span := newest.Time - oldest.Time
-		nIntervals := float64(len(m.ring) - 1)
+		nIntervals := float64(m.size - 1)
 		if span > 0 && nIntervals > 0 {
 			o.WindowRate = nIntervals / span
 			o.WindowLatency = span / nIntervals
@@ -185,10 +195,10 @@ func (m *Monitor) Observe() Observation {
 		}
 	}
 	sum := 0.0
-	for _, r := range m.ring {
-		sum += r.Distortion
+	for i := 0; i < m.size; i++ {
+		sum += m.at(i).Distortion
 	}
-	o.Distortion = sum / float64(len(m.ring))
+	o.Distortion = sum / float64(m.size)
 	return o
 }
 
@@ -196,8 +206,10 @@ func (m *Monitor) Observe() Observation {
 func (m *Monitor) Window() []Record {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]Record, len(m.ring))
-	copy(out, m.ring)
+	out := make([]Record, m.size)
+	for i := range out {
+		out[i] = m.at(i)
+	}
 	return out
 }
 
@@ -208,8 +220,8 @@ func (m *Monitor) TaggedSpan(start, end uint64) (seconds, joules float64, ok boo
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	endIdx := -1
-	for i := len(m.ring) - 1; i >= 0; i-- {
-		if m.ring[i].Tag == end {
+	for i := m.size - 1; i >= 0; i-- {
+		if m.at(i).Tag == end {
 			endIdx = i
 			break
 		}
@@ -217,10 +229,10 @@ func (m *Monitor) TaggedSpan(start, end uint64) (seconds, joules float64, ok boo
 	if endIdx < 0 {
 		return 0, 0, false
 	}
+	endRec := m.at(endIdx)
 	for i := endIdx - 1; i >= 0; i-- {
-		if m.ring[i].Tag == start {
-			return m.ring[endIdx].Time - m.ring[i].Time,
-				m.ring[endIdx].EnergyJ - m.ring[i].EnergyJ, true
+		if r := m.at(i); r.Tag == start {
+			return endRec.Time - r.Time, endRec.EnergyJ - r.EnergyJ, true
 		}
 	}
 	return 0, 0, false

@@ -1,7 +1,9 @@
 package heartbeat
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -311,4 +313,176 @@ func TestTinyWindowPanics(t *testing.T) {
 		}
 	}()
 	New(sim.NewClock(0), WithWindow(1))
+}
+
+// The ring must report records oldest-first with contiguous sequence
+// numbers long after it has wrapped.
+func TestRingWraparound(t *testing.T) {
+	c := sim.NewClock(0)
+	m := New(c, WithWindow(4))
+	for i := 0; i < 11; i++ {
+		c.Advance(0.5)
+		m.Beat()
+	}
+	w := m.Window()
+	if len(w) != 4 {
+		t.Fatalf("window length = %d, want 4", len(w))
+	}
+	for i, r := range w {
+		if want := uint64(8 + i); r.Seq != want {
+			t.Fatalf("window[%d].Seq = %d, want %d", i, r.Seq, want)
+		}
+		if i > 0 && w[i].Time <= w[i-1].Time {
+			t.Fatal("window not oldest-first")
+		}
+	}
+	obs := m.Observe()
+	if obs.Beats != 11 {
+		t.Fatalf("Beats = %d, want 11", obs.Beats)
+	}
+	if math.Abs(obs.WindowRate-2) > 1e-9 {
+		t.Fatalf("WindowRate = %g after wrap, want 2", obs.WindowRate)
+	}
+}
+
+// TaggedSpan must keep working across the wrap boundary.
+func TestTaggedSpanAfterWrap(t *testing.T) {
+	c := sim.NewClock(0)
+	meter := &fakeMeter{}
+	m := New(c, WithWindow(5), WithEnergyMeter(meter))
+	for i := 0; i < 20; i++ {
+		c.Advance(1)
+		meter.joules += 2
+		switch i {
+		case 16:
+			m.BeatTagged(7)
+		case 19:
+			m.BeatTagged(9)
+		default:
+			m.Beat()
+		}
+	}
+	sec, joules, ok := m.TaggedSpan(7, 9)
+	if !ok {
+		t.Fatal("tagged pair not found after wrap")
+	}
+	if sec != 3 || joules != 6 {
+		t.Fatalf("span = %gs/%gJ, want 3s/6J", sec, joules)
+	}
+}
+
+// Property: a wrapped ring's observation matches a never-wrapping one
+// fed the same beats.
+func TestRingMatchesUnboundedWindow(t *testing.T) {
+	c1, c2 := sim.NewClock(0), sim.NewClock(0)
+	small := New(c1, WithWindow(8))
+	big := New(c2, WithWindow(1000))
+	// Only the first 8 of these land in both windows; drive both and
+	// compare the small window to the big one's trailing slice.
+	for i := 0; i < 50; i++ {
+		c1.Advance(0.1 + 0.01*float64(i%7))
+		c2.AdvanceTo(c1.Now())
+		small.Beat()
+		big.Beat()
+	}
+	sw, bw := small.Window(), big.Window()
+	tail := bw[len(bw)-len(sw):]
+	for i := range sw {
+		if sw[i] != tail[i] {
+			t.Fatalf("record %d: small %+v != big tail %+v", i, sw[i], tail[i])
+		}
+	}
+}
+
+// lockedClock is a trivially race-safe Nower for concurrency tests.
+type lockedClock struct {
+	mu  sync.Mutex
+	now sim.Time
+}
+
+func (c *lockedClock) Now() sim.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *lockedClock) advance(dt sim.Time) {
+	c.mu.Lock()
+	c.now += dt
+	c.mu.Unlock()
+}
+
+// Many goroutines beating monitors found through a shared Registry while
+// observers tick: must be race-detector clean and lose no beats.
+func TestConcurrentBeatsAndObservers(t *testing.T) {
+	clock := &lockedClock{}
+	reg := NewRegistry()
+	const apps = 8
+	const beatsPerApp = 500
+	for i := 0; i < apps; i++ {
+		m := New(clock, WithWindow(16))
+		m.SetPerformanceGoal(1, 0)
+		if err := reg.Enroll(fmt.Sprintf("app-%d", i), m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, name := range reg.Names() {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			m, ok := reg.Lookup(name)
+			if !ok {
+				t.Errorf("%s not found", name)
+				return
+			}
+			for i := 0; i < beatsPerApp; i++ {
+				clock.advance(1e-6)
+				m.Beat()
+			}
+		}(name)
+	}
+	stop := make(chan struct{})
+	var observers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		observers.Add(1)
+		go func() {
+			defer observers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, name := range reg.Names() {
+					if m, ok := reg.Lookup(name); ok {
+						m.Observe()
+						m.Check()
+						m.Window()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	observers.Wait()
+	for _, name := range reg.Names() {
+		m, _ := reg.Lookup(name)
+		if got := m.Count(); got != beatsPerApp {
+			t.Fatalf("%s count = %d, want %d", name, got, beatsPerApp)
+		}
+	}
+}
+
+// BenchmarkEmitLargeWindow gates the O(1) ring insert: cost per beat
+// must not scale with the window (it was O(window) before PR 2).
+func BenchmarkEmitLargeWindow(b *testing.B) {
+	c := sim.NewClock(0)
+	m := New(c, WithWindow(4096))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Advance(1e-6)
+		m.Beat()
+	}
 }

@@ -1,0 +1,119 @@
+package server
+
+import "sort"
+
+// EnrollRequest registers an application with the daemon.
+//
+//	POST /v1/apps
+type EnrollRequest struct {
+	// Name uniquely identifies the application.
+	Name string `json:"name"`
+	// Workload names the declared behaviour profile (internal/workload
+	// spec) used for the advisory action space and the core-scaling
+	// curve. Defaults to "barnes".
+	Workload string `json:"workload,omitempty"`
+	// Window is the heart-rate averaging window in beats (default: the
+	// daemon's configured window).
+	Window int `json:"window,omitempty"`
+	// MinRate/MaxRate declare the performance goal band in beats/s.
+	// MinRate is required; MaxRate 0 means "no upper bound".
+	MinRate float64 `json:"min_rate"`
+	MaxRate float64 `json:"max_rate,omitempty"`
+}
+
+// BeatRequest ingests a batch of heartbeats.
+//
+//	POST /v1/apps/{name}/beats
+type BeatRequest struct {
+	// Count is how many beats to emit (default 1).
+	Count int `json:"count,omitempty"`
+	// Distortion, if nonzero, is reported with the batch's last beat.
+	Distortion float64 `json:"distortion,omitempty"`
+}
+
+// GoalRequest replaces an application's performance goal.
+//
+//	PUT /v1/apps/{name}/goal
+type GoalRequest struct {
+	MinRate float64 `json:"min_rate"`
+	MaxRate float64 `json:"max_rate,omitempty"`
+}
+
+// GoalView is the declared performance band.
+type GoalView struct {
+	MinRate float64 `json:"min_rate"`
+	MaxRate float64 `json:"max_rate,omitempty"`
+}
+
+// ObservationView mirrors heartbeat.Observation for the wire.
+type ObservationView struct {
+	Beats         uint64  `json:"beats"`
+	WindowRate    float64 `json:"window_rate"`
+	GlobalRate    float64 `json:"global_rate"`
+	InstantRate   float64 `json:"instant_rate"`
+	WindowLatency float64 `json:"window_latency"`
+	Distortion    float64 `json:"distortion"`
+	LastTime      float64 `json:"last_time"`
+}
+
+// AllocationView is the manager's latest core share for one app.
+type AllocationView struct {
+	Units int `json:"units"`
+	// Demand is the un-rounded unit count the goal asked for.
+	Demand float64 `json:"demand"`
+	// GoalFit reports whether the demand fit inside the partition.
+	GoalFit bool `json:"goal_fit"`
+}
+
+// DecisionView is the latest SEEC decision, actuator settings resolved
+// to labels. Clients act on it from their side of the wire.
+type DecisionView struct {
+	Time           float64           `json:"time"`
+	Goal           float64           `json:"goal"`
+	Observed       float64           `json:"observed"`
+	BaseEstimate   float64           `json:"base_estimate"`
+	TargetSpeedup  float64           `json:"target_speedup"`
+	HiFrac         float64           `json:"hi_frac"`
+	PredictedPower float64           `json:"predicted_power"`
+	LoConfig       map[string]string `json:"lo_config"`
+	HiConfig       map[string]string `json:"hi_config"`
+}
+
+// AppStatus is one application's full serving state.
+//
+//	GET /v1/apps/{name}
+type AppStatus struct {
+	Name        string          `json:"name"`
+	Workload    string          `json:"workload"`
+	Goal        GoalView        `json:"goal"`
+	GoalMet     bool            `json:"goal_met"`
+	Observation ObservationView `json:"observation"`
+	Cores       AllocationView  `json:"cores"`
+	Decision    *DecisionView   `json:"decision,omitempty"`
+	DecisionErr string          `json:"decision_err,omitempty"`
+	EnrolledAt  float64         `json:"enrolled_at"`
+}
+
+func sortAppStatuses(s []AppStatus) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+}
+
+// StatsResponse is the daemon-wide counter snapshot.
+//
+//	GET /v1/stats
+type StatsResponse struct {
+	Apps          int     `json:"apps"`
+	Cores         int     `json:"cores"`
+	Ticks         uint64  `json:"ticks"`
+	Beats         uint64  `json:"beats"`
+	Decisions     uint64  `json:"decisions"`
+	ClockSeconds  float64 `json:"clock_seconds"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	PeriodSeconds float64 `json:"period_seconds"`
+	Accelerated   bool    `json:"accelerated"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}

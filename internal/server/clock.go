@@ -1,0 +1,54 @@
+package server
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"angstrom/internal/sim"
+)
+
+// WallClock is a sim.Nower over real time: simulated seconds are seconds
+// since the clock was created. It is safe for concurrent use, which the
+// single-goroutine sim.Clock deliberately is not — a serving daemon
+// timestamps heartbeats from many HTTP handler goroutines at once.
+type WallClock struct {
+	epoch time.Time
+}
+
+// NewWallClock starts a wall clock at time zero.
+func NewWallClock() *WallClock { return &WallClock{epoch: time.Now()} }
+
+// Now reports seconds elapsed since the clock was created.
+func (c *WallClock) Now() sim.Time { return time.Since(c.epoch).Seconds() }
+
+// AtomicClock is an accelerated simulated clock: one goroutine (the ODA
+// loop) advances it, any number of goroutines read it. Time is stored as
+// float64 bits in an atomic word, so readers never block the loop.
+type AtomicClock struct {
+	bits atomic.Uint64
+}
+
+// NewAtomicClock returns a clock set to start.
+func NewAtomicClock(start sim.Time) *AtomicClock {
+	c := &AtomicClock{}
+	c.bits.Store(math.Float64bits(start))
+	return c
+}
+
+// Now reports the current simulated time.
+func (c *AtomicClock) Now() sim.Time { return math.Float64frombits(c.bits.Load()) }
+
+// Advance moves the clock forward by dt seconds. Like sim.Clock, moving
+// backwards is a driver bug and panics.
+func (c *AtomicClock) Advance(dt sim.Time) {
+	if dt < 0 {
+		panic("server: clock advanced by negative dt")
+	}
+	c.bits.Store(math.Float64bits(c.Now() + dt))
+}
+
+var (
+	_ sim.Nower = (*WallClock)(nil)
+	_ sim.Nower = (*AtomicClock)(nil)
+)

@@ -1,0 +1,492 @@
+// Package server runs the SEEC observe–decide–act loop as a long-lived
+// concurrent service: many applications enroll through an HTTP/JSON API,
+// POST heartbeats (batched) as they make progress, and read back the
+// runtime's latest Decision and core allocation. This is the paper's
+// §3.1/§3.3 machinery lifted from a single simulated experiment to a
+// daemon — one heartbeat.Monitor and one core.Runtime per enrolled
+// application, plus core.Manager water-filling arbitration over a shared
+// core pool, ticking continuously on a wall clock (or an accelerated
+// simulated clock for tests and offline drivers).
+//
+// Concurrency model: heartbeat.Monitor and heartbeat.Registry are
+// internally synchronized, so beat ingestion never serializes behind the
+// decision loop. The Daemon's own mutex guards only the app directory
+// and the (single-threaded) Manager; per-app decision state is guarded
+// by the app's mutex. core.Runtime is touched exclusively by the tick
+// goroutine.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"angstrom/internal/actuator"
+	"angstrom/internal/core"
+	"angstrom/internal/heartbeat"
+	"angstrom/internal/sim"
+	"angstrom/internal/workload"
+)
+
+// Sentinel errors the HTTP layer maps to status codes with errors.Is.
+var (
+	// ErrNotEnrolled marks requests naming an unknown application.
+	ErrNotEnrolled = errors.New("not enrolled")
+	// ErrDuplicate marks an enrollment under a name already in use.
+	ErrDuplicate = errors.New("already enrolled")
+	// ErrPoolExhausted marks enrollment beyond one app per pool core.
+	ErrPoolExhausted = errors.New("core pool exhausted")
+)
+
+// MaxBeatBatch bounds one BeatRequest's count: large enough for any
+// sane batching interval, small enough that a single request cannot
+// monopolize the daemon.
+const MaxBeatBatch = 10000
+
+// Config tunes the daemon. Zero fields select documented defaults.
+type Config struct {
+	// Cores is the shared resource pool the Manager water-fills across
+	// enrolled applications (default 1024). Enrollment beyond one app per
+	// core is refused, exactly like the in-simulation Manager.
+	Cores int
+	// Period is the decision period of the ODA loop (default 100ms).
+	Period time.Duration
+	// Accel, when positive, replaces the wall clock with an accelerated
+	// simulated clock that advances Accel seconds per tick. Zero (the
+	// default) serves in real time.
+	Accel float64
+	// Window is the default heartbeat averaging window in beats when an
+	// enrollment does not specify one (default heartbeat.DefaultWindow).
+	Window int
+}
+
+func (c *Config) fill() {
+	if c.Cores == 0 {
+		c.Cores = 1024
+	}
+	if c.Period == 0 {
+		c.Period = 100 * time.Millisecond
+	}
+	if c.Window == 0 {
+		c.Window = heartbeat.DefaultWindow
+	}
+}
+
+// app is one enrolled application's serving state.
+type app struct {
+	name string
+	spec workload.Spec
+	mon  *heartbeat.Monitor
+	rt   *core.Runtime // stepped only by the tick goroutine
+
+	mu          sync.Mutex
+	decision    core.Decision
+	hasDecision bool
+	decisionErr string
+	alloc       core.Allocation
+	enrolledAt  sim.Time
+}
+
+// Daemon is the multi-application serving runtime.
+type Daemon struct {
+	cfg      Config
+	clock    sim.Nower
+	simClock *AtomicClock // non-nil iff Accel > 0
+
+	reg *heartbeat.Registry
+
+	mu   sync.RWMutex
+	apps map[string]*app
+	mgr  *core.Manager
+
+	ticks     atomic.Uint64
+	beats     atomic.Uint64
+	decisions atomic.Uint64
+	started   time.Time
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewDaemon builds a daemon; call Start to begin ticking.
+func NewDaemon(cfg Config) (*Daemon, error) {
+	cfg.fill()
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("server: %d cores", cfg.Cores)
+	}
+	if cfg.Window < 2 {
+		return nil, fmt.Errorf("server: window %d too small (need >= 2)", cfg.Window)
+	}
+	d := &Daemon{
+		cfg:     cfg,
+		reg:     heartbeat.NewRegistry(),
+		apps:    make(map[string]*app),
+		started: time.Now(),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if cfg.Accel > 0 {
+		d.simClock = NewAtomicClock(0)
+		d.clock = d.simClock
+	} else {
+		d.clock = NewWallClock()
+	}
+	var err error
+	d.mgr, err = core.NewManager(d.clock, cfg.Cores)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Registry exposes the shared application directory (observer side).
+func (d *Daemon) Registry() *heartbeat.Registry { return d.reg }
+
+// Clock exposes the daemon's clock (read-only).
+func (d *Daemon) Clock() sim.Nower { return d.clock }
+
+// buildSpace builds the app's advisory action space: a thread-count
+// ladder whose speedups come from the workload's declared Amdahl curve
+// (power scales with active cores) crossed with a DVFS-like frequency
+// ladder (power ~ f³). The daemon decides a rung; the application reads
+// it back and actuates on its side.
+func buildSpace(spec workload.Spec) (*actuator.Space, error) {
+	threads := []int{1, 2, 4, 8, 16}
+	tLabels := make([]string, len(threads))
+	tSpeed := make([]float64, len(threads))
+	tPower := make([]float64, len(threads))
+	for i, t := range threads {
+		tLabels[i] = fmt.Sprintf("%d threads", t)
+		tSpeed[i] = spec.ParallelSpeedup(t)
+		tPower[i] = float64(t)
+	}
+	threadsAct, err := actuator.NewLadder("threads", tLabels, tSpeed, tPower)
+	if err != nil {
+		return nil, err
+	}
+	freqs := []float64{0.6, 0.8, 1.0, 1.2}
+	fLabels := make([]string, len(freqs))
+	fPower := make([]float64, len(freqs))
+	for i, f := range freqs {
+		fLabels[i] = fmt.Sprintf("%.1fx clock", f)
+		fPower[i] = f * f * f
+	}
+	dvfsAct, err := actuator.NewLadder("dvfs", fLabels, freqs, fPower)
+	if err != nil {
+		return nil, err
+	}
+	return actuator.NewSpace(threadsAct, dvfsAct)
+}
+
+func validGoal(minRate, maxRate float64) error {
+	if minRate <= 0 {
+		return fmt.Errorf("server: min_rate %g must be positive", minRate)
+	}
+	if maxRate != 0 && maxRate < minRate {
+		return fmt.Errorf("server: inverted rate band [%g, %g]", minRate, maxRate)
+	}
+	return nil
+}
+
+// Enroll registers an application and starts controlling it on the next
+// tick. The request must carry a performance goal: a goalless app would
+// stall both decision layers (core.Runtime and core.Manager refuse to
+// step without one).
+func (d *Daemon) Enroll(req EnrollRequest) error {
+	// The name is an URL path segment and the registry key; accept only
+	// names that round-trip unchanged (no whitespace, no separators) so
+	// the client's name and the enrolled name can never diverge.
+	name := req.Name
+	if name == "" || name != strings.TrimSpace(name) || strings.ContainsAny(name, "/ \t\n") {
+		return fmt.Errorf("server: invalid app name %q", req.Name)
+	}
+	if err := validGoal(req.MinRate, req.MaxRate); err != nil {
+		return err
+	}
+	wl := req.Workload
+	if wl == "" {
+		wl = "barnes"
+	}
+	spec, err := workload.ByName(wl)
+	if err != nil {
+		return err
+	}
+	window := req.Window
+	if window == 0 {
+		window = d.cfg.Window
+	}
+	if window < 2 {
+		return fmt.Errorf("server: window %d too small (need >= 2)", window)
+	}
+
+	mon := heartbeat.New(d.clock, heartbeat.WithWindow(window))
+	mon.SetPerformanceGoal(req.MinRate, req.MaxRate)
+	space, err := buildSpace(spec)
+	if err != nil {
+		return err
+	}
+	rt, err := core.New(name, d.clock, mon, space, core.Options{})
+	if err != nil {
+		return err
+	}
+	a := &app{name: name, spec: spec, mon: mon, rt: rt, enrolledAt: d.clock.Now()}
+	a.alloc = core.Allocation{App: name, Units: 1}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.apps[name]; dup {
+		return fmt.Errorf("server: %q %w", name, ErrDuplicate)
+	}
+	if d.mgr.Apps() >= d.cfg.Cores {
+		return fmt.Errorf("server: %w (%d apps on %d cores)", ErrPoolExhausted, d.mgr.Apps(), d.cfg.Cores)
+	}
+	if err := d.mgr.AddApp(name, mon, spec.ParallelSpeedup); err != nil {
+		return err
+	}
+	if err := d.reg.Enroll(name, mon); err != nil {
+		d.mgr.RemoveApp(name)
+		return err
+	}
+	d.apps[name] = a
+	return nil
+}
+
+// Withdraw removes an application and frees its core share.
+func (d *Daemon) Withdraw(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.apps[name]; !ok {
+		return fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
+	}
+	delete(d.apps, name)
+	d.reg.Withdraw(name)
+	d.mgr.RemoveApp(name)
+	return nil
+}
+
+// lookup fetches an app without holding the daemon lock longer than the
+// map read.
+func (d *Daemon) lookup(name string) (*app, bool) {
+	d.mu.RLock()
+	a, ok := d.apps[name]
+	d.mu.RUnlock()
+	return a, ok
+}
+
+// Beat ingests count heartbeats for name, the last one carrying the
+// given distortion. The monitor is internally synchronized, so beats
+// from many connections interleave safely with the tick goroutine.
+func (d *Daemon) Beat(name string, count int, distortion float64) error {
+	if count < 1 || count > MaxBeatBatch {
+		return fmt.Errorf("server: beat count %d outside [1, %d]", count, MaxBeatBatch)
+	}
+	a, ok := d.lookup(name)
+	if !ok {
+		return fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
+	}
+	for i := 0; i < count-1; i++ {
+		a.mon.Beat()
+	}
+	if distortion != 0 {
+		a.mon.BeatWithAccuracy(distortion)
+	} else {
+		a.mon.Beat()
+	}
+	d.beats.Add(uint64(count))
+	return nil
+}
+
+// SetGoal replaces the application's performance goal.
+func (d *Daemon) SetGoal(name string, minRate, maxRate float64) error {
+	if err := validGoal(minRate, maxRate); err != nil {
+		return err
+	}
+	a, ok := d.lookup(name)
+	if !ok {
+		return fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
+	}
+	a.mon.SetPerformanceGoal(minRate, maxRate)
+	return nil
+}
+
+// Tick runs one decision period for every enrolled application: advance
+// the accelerated clock (if any), arbitrate shared cores, then step each
+// app's SEEC runtime. Start runs this on a timer; accelerated drivers
+// and benchmarks may call it directly instead (never concurrently with
+// Start).
+func (d *Daemon) Tick() {
+	if d.simClock != nil {
+		d.simClock.Advance(d.cfg.Accel)
+	}
+
+	d.mu.Lock()
+	snapshot := make([]*app, 0, len(d.apps))
+	for _, a := range d.apps {
+		snapshot = append(snapshot, a)
+	}
+	var allocs []core.Allocation
+	if d.mgr.Apps() > 0 {
+		var err error
+		if allocs, err = d.mgr.Step(); err != nil {
+			allocs = nil
+		}
+	}
+	d.mu.Unlock()
+
+	byName := make(map[string]core.Allocation, len(allocs))
+	for _, al := range allocs {
+		byName[al.App] = al
+	}
+	for _, a := range snapshot {
+		dec, err := a.rt.Step()
+		a.mu.Lock()
+		if err != nil {
+			a.decisionErr = err.Error()
+		} else {
+			a.decision = dec
+			a.hasDecision = true
+			a.decisionErr = ""
+			d.decisions.Add(1)
+		}
+		if al, ok := byName[a.name]; ok {
+			a.alloc = al
+		}
+		a.mu.Unlock()
+	}
+	d.ticks.Add(1)
+}
+
+// Start launches the ODA loop. It returns immediately; Stop shuts the
+// loop down and waits for it to exit.
+func (d *Daemon) Start() {
+	go func() {
+		defer close(d.done)
+		ticker := time.NewTicker(d.cfg.Period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-ticker.C:
+				d.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the ODA loop. Safe to call more than once.
+func (d *Daemon) Stop() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	<-d.done
+}
+
+// Status reports one application's serving state.
+func (d *Daemon) Status(name string) (AppStatus, error) {
+	a, ok := d.lookup(name)
+	if !ok {
+		return AppStatus{}, fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
+	}
+	return d.status(a), nil
+}
+
+// List reports every enrolled application, sorted by name.
+func (d *Daemon) List() []AppStatus {
+	d.mu.RLock()
+	snapshot := make([]*app, 0, len(d.apps))
+	for _, a := range d.apps {
+		snapshot = append(snapshot, a)
+	}
+	d.mu.RUnlock()
+	out := make([]AppStatus, len(snapshot))
+	for i, a := range snapshot {
+		out[i] = d.status(a)
+	}
+	sortAppStatuses(out)
+	return out
+}
+
+func (d *Daemon) status(a *app) AppStatus {
+	obs := a.mon.Observe()
+	goals := a.mon.Goals()
+	st := AppStatus{
+		Name:     a.name,
+		Workload: a.spec.Name,
+		Observation: ObservationView{
+			Beats:         obs.Beats,
+			WindowRate:    obs.WindowRate,
+			GlobalRate:    obs.GlobalRate,
+			InstantRate:   obs.InstantRate,
+			WindowLatency: obs.WindowLatency,
+			Distortion:    obs.Distortion,
+			LastTime:      obs.LastTime,
+		},
+		GoalMet: a.mon.Check().AllMet(),
+	}
+	if g := goals.Performance; g != nil {
+		st.Goal = GoalView{MinRate: g.MinRate, MaxRate: g.MaxRate}
+	}
+	a.mu.Lock()
+	st.EnrolledAt = a.enrolledAt
+	st.Cores = AllocationView{
+		Units:   a.alloc.Units,
+		Demand:  a.alloc.Demand,
+		GoalFit: a.alloc.GoalMet,
+	}
+	st.DecisionErr = a.decisionErr
+	if a.hasDecision {
+		dec := a.decision
+		a.mu.Unlock()
+		v := decisionView(dec, a.rt.Space())
+		st.Decision = &v
+		return st
+	}
+	a.mu.Unlock()
+	return st
+}
+
+// decisionView renders a core.Decision with actuator settings resolved
+// to their human-readable labels.
+func decisionView(dec core.Decision, space *actuator.Space) DecisionView {
+	label := func(cfg actuator.Config) map[string]string {
+		out := make(map[string]string, len(space.Acts))
+		for i, act := range space.Acts {
+			if i < len(cfg) && cfg[i] >= 0 && cfg[i] < len(act.Settings) {
+				out[act.Name] = act.Settings[cfg[i]].Label
+			}
+		}
+		return out
+	}
+	return DecisionView{
+		Time:           dec.Time,
+		Goal:           dec.Goal,
+		Observed:       dec.Observed,
+		BaseEstimate:   dec.BaseEstimate,
+		TargetSpeedup:  dec.TargetSpeedup,
+		HiFrac:         dec.HiFrac,
+		PredictedPower: dec.PredictedPower,
+		LoConfig:       label(dec.LoCfg),
+		HiConfig:       label(dec.HiCfg),
+	}
+}
+
+// Stats reports daemon-wide counters.
+func (d *Daemon) Stats() StatsResponse {
+	d.mu.RLock()
+	apps := len(d.apps)
+	d.mu.RUnlock()
+	return StatsResponse{
+		Apps:          apps,
+		Cores:         d.cfg.Cores,
+		Ticks:         d.ticks.Load(),
+		Beats:         d.beats.Load(),
+		Decisions:     d.decisions.Load(),
+		ClockSeconds:  d.clock.Now(),
+		UptimeSeconds: time.Since(d.started).Seconds(),
+		PeriodSeconds: d.cfg.Period.Seconds(),
+		Accelerated:   d.simClock != nil,
+	}
+}
