@@ -2,13 +2,14 @@
 #
 #   make build   compile every package
 #   make vet     static analysis
-#   make test    tier-1 verification (build + vet + full test suite with -race)
+#   make docs    fail if any internal package lacks a package comment
+#   make test    tier-1 verification (build + vet + docs + full test suite with -race)
 #   make bench   run all benchmarks with allocation stats into bench.out
 #   make bench-json  bench + record the BENCH_<date>.json trajectory file
 
 GO ?= go
 
-.PHONY: build test bench bench-json vet clean
+.PHONY: build test bench bench-json vet docs clean
 
 build:
 	$(GO) build ./...
@@ -16,7 +17,17 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: build vet
+# Godoc coverage gate: every internal package must carry a package
+# comment (go list's .Doc is the synopsis go doc renders; empty means
+# the package clause has no doc comment anywhere in the package).
+docs:
+	@missing=$$($(GO) list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./internal/... ./cmd/...); \
+	if [ -n "$$missing" ]; then \
+		echo "packages missing a package comment:"; echo "$$missing"; exit 1; \
+	fi; \
+	echo "package docs: all internal and cmd packages documented"
+
+test: build vet docs
 	$(GO) test -race ./...
 
 bench:

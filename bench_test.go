@@ -461,3 +461,88 @@ func BenchmarkMonitorBeatWindow4096(b *testing.B) {
 		mon.Beat()
 	}
 }
+
+// --- Chip-backed serving benchmarks (PR 3) --------------------------
+//
+// The chip-backed daemon's hot paths: the per-app Sensor read (gated at
+// 0 allocs/op — it sits on every status request and every budget
+// rebalance) and the full chip-backed ODA tick, which executes every
+// partition's schedule, emits its heartbeats, water-fills the pool, and
+// steps every decision engine.
+
+// newChipBenchDaemon builds an accelerated chip-backed daemon with n
+// enrolled apps holding partitions of one shared chip.
+func newChipBenchDaemon(b *testing.B, n, tiles int) *server.Daemon {
+	b.Helper()
+	d, err := server.NewDaemon(server.Config{
+		Cores: tiles, Accel: 0.1, Period: time.Hour, Oversubscribe: true,
+		Chip: &server.ChipConfig{Tiles: tiles},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"barnes", "ocean", "raytrace", "water", "volrend"}
+	for i := 0; i < n; i++ {
+		err := d.Enroll(server.EnrollRequest{
+			Name:     fmt.Sprintf("app-%04d", i),
+			Workload: names[i%len(names)],
+			Window:   256,
+			MinRate:  20,
+			MaxRate:  30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return d
+}
+
+// BenchmarkPartitionSense gates the per-app observe path of chip-backed
+// serving at 0 allocs/op: one Sensor sample off the shared chip.
+func BenchmarkPartitionSense(b *testing.B) {
+	sc, err := angstrom.NewSharedChip(angstrom.DefaultParams(), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := workload.ByName("barnes")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon := heartbeat.New(sim.NewClock(0))
+	pt, err := sc.Acquire("bench", workload.NewInstance(spec, 1), mon,
+		angstrom.Config{Cores: 4, CacheKB: 64, VF: 0}, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ips float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ips += pt.Sense().IPS
+	}
+	_ = ips
+}
+
+// BenchmarkDaemonChipTick256 measures one chip-backed decision period
+// over 256 partitions of a 1024-tile chip: schedule execution + beat
+// emission + water-filling + 256 runtime steps.
+func BenchmarkDaemonChipTick256(b *testing.B) {
+	d := newChipBenchDaemon(b, 256, 1024)
+	d.Tick() // warm: first decisions, initial knob moves
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Tick()
+	}
+}
+
+// BenchmarkDaemonChipTickOversub measures the oversubscribed variant:
+// 128 partitions time-sharing a 32-tile chip, so every tick also
+// rebalances fractional shares through the ledger.
+func BenchmarkDaemonChipTickOversub(b *testing.B) {
+	d := newChipBenchDaemon(b, 128, 32)
+	d.Tick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Tick()
+	}
+}

@@ -6,15 +6,24 @@
 //
 //	angstromd -addr :8090 -cores 4096 -period 100ms
 //
-// Endpoints (see internal/server):
+// With -chip, every enrolled application is instead bound to a
+// partition of one shared Angstrom chip model: the decision engine
+// actuates real hardware knobs (core allocation, L2 capacity, DVFS) and
+// the partition emits the application's heartbeats as its modeled
+// execution progresses.
+//
+//	angstromd -chip -chip-tiles 256 -oversubscribe -chip-power 40
+//
+// Endpoints (see docs/API.md and internal/server):
 //
 //	GET    /healthz
 //	GET    /v1/stats
+//	GET    /v1/chip               (404 unless -chip)
 //	GET    /v1/apps
-//	POST   /v1/apps               {"name","workload","window","min_rate","max_rate"}
+//	POST   /v1/apps               {"name","workload","window","mode","min_rate","max_rate"}
 //	GET    /v1/apps/{name}
 //	DELETE /v1/apps/{name}
-//	POST   /v1/apps/{name}/beats  {"count","distortion"}
+//	POST   /v1/apps/{name}/beats  {"count","distortion","timestamps"}
 //	PUT    /v1/apps/{name}/goal   {"min_rate","max_rate"}
 package main
 
@@ -39,14 +48,31 @@ func main() {
 	period := flag.Duration("period", 100*time.Millisecond, "decision period of the ODA loop")
 	accel := flag.Float64("accel", 0, "simulated seconds per tick (0 = serve in real time)")
 	window := flag.Int("window", 0, "default heartbeat window in beats (0 = library default)")
+	oversub := flag.Bool("oversubscribe", false, "admit fleets larger than the core pool (time-sharing)")
+	chip := flag.Bool("chip", false, "bind enrolled apps to a shared Angstrom chip model (real knobs)")
+	chipTiles := flag.Int("chip-tiles", 0, "physical tiles of the shared chip (0 = core pool size)")
+	chipCache := flag.Int("chip-cache", 0, "largest per-core L2 option in KB (0 = 32/64/128 ladder)")
+	chipPower := flag.Float64("chip-power", 0, "chip-wide power budget in watts (0 = unlimited)")
 	flag.Parse()
 
-	d, err := server.NewDaemon(server.Config{
-		Cores:  *cores,
-		Period: *period,
-		Accel:  *accel,
-		Window: *window,
-	})
+	cfg := server.Config{
+		Cores:         *cores,
+		Period:        *period,
+		Accel:         *accel,
+		Window:        *window,
+		Oversubscribe: *oversub,
+	}
+	if *chip {
+		cc := &server.ChipConfig{Tiles: *chipTiles, PowerBudgetW: *chipPower}
+		if *chipCache > 0 {
+			// A three-rung ladder topping out at the requested size.
+			for kb := *chipCache; kb >= 1 && len(cc.CacheOptionsKB) < 3; kb /= 2 {
+				cc.CacheOptionsKB = append([]int{kb}, cc.CacheOptionsKB...)
+			}
+		}
+		cfg.Chip = cc
+	}
+	d, err := server.NewDaemon(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,8 +96,11 @@ func main() {
 		}
 	}()
 
-	log.Printf("angstromd: serving on %s (cores=%d period=%s accel=%g)",
-		*addr, *cores, *period, *accel)
+	if st, ok := d.ChipStatus(); ok {
+		log.Printf("angstromd: chip-backed (%d tiles, budget %gW)", st.Tiles, st.PowerBudgetW)
+	}
+	log.Printf("angstromd: serving on %s (cores=%d period=%s accel=%g oversubscribe=%v)",
+		*addr, *cores, *period, *accel, *oversub)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

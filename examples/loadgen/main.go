@@ -110,17 +110,16 @@ func main() {
 			defer wg.Done()
 			name := fmt.Sprintf("app-%04d", i)
 			goal := *rate
+			// No window inflation: the daemon spreads each batch's
+			// timestamps across the interval since the previous beat
+			// (or honors client-supplied per-beat timestamps), so the
+			// default window measures the true stream rate even when
+			// it is smaller than a batch.
 			req := server.EnrollRequest{
 				Name:     name,
 				Workload: workloads[i%len(workloads)],
-				// Batched beats land in bursts of near-identical
-				// timestamps, so average over many batches: a window of
-				// ~20 batches keeps the rate estimate within a few
-				// percent of the true stream rate. Large windows are
-				// cheap since the monitor ring became O(1) per beat.
-				Window:  20 * *batch,
-				MinRate: goal * 0.9,
-				MaxRate: goal * 1.1,
+				MinRate:  goal * 0.9,
+				MaxRate:  goal * 1.1,
 			}
 			if err := post("/v1/apps", req); err != nil {
 				errs.Add(1)

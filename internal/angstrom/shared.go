@@ -1,0 +1,435 @@
+package angstrom
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"angstrom/internal/actuator"
+	"angstrom/internal/heartbeat"
+	"angstrom/internal/sim"
+	"angstrom/internal/workload"
+)
+
+// This file implements multi-application sharing of one Angstrom chip:
+// a SharedChip splits its tile pool into per-application Partitions,
+// each an independently configurable slice of the hardware with its own
+// actuation knobs (cores, L2 capacity, DVFS) and its own Sensor view
+// (IPS, power, stall fraction). This is the serving-side counterpart of
+// Chip: where Chip closes the loop around a single simulated experiment,
+// SharedChip lets a long-lived daemon bind every enrolled application to
+// real hardware knobs on one chip — the paper's vision of the runtime
+// arbitrating a 1000-core die across a fleet of self-aware applications.
+//
+// Concurrency model: SharedChip's mutex guards the tile ledger and the
+// partition directory; each Partition's mutex guards its configuration,
+// cached model metrics, and execution state. Lock order is SharedChip
+// before Partition; Sense and Advance take only the partition lock, so
+// status reads and the daemon's tick never serialize behind enrollment.
+//
+// Partitions are modeled independently: each evaluates the chip model
+// for its own (workload, configuration) slice, with cross-application
+// interference captured by the explicit resource ledgers (the tile pool
+// here, time shares and power budgets in the serving layer) rather than
+// by microarchitectural contention between partitions.
+
+// SharedChip is one Angstrom chip whose tiles are partitioned among many
+// applications. The ledger is kept in fractional core-equivalents: a
+// partition holding C cores at time share s consumes C×s, so an
+// oversubscribed fleet (time-sharing units) still respects the physical
+// tile pool.
+type SharedChip struct {
+	p     Params
+	tiles int
+
+	mu    sync.Mutex
+	used  float64 // sum over partitions of Cores × Share
+	parts map[string]*Partition
+}
+
+// NewSharedChip builds a chip with the given tile count.
+func NewSharedChip(p Params, tiles int) (*SharedChip, error) {
+	if tiles < 1 || tiles > p.MaxCores {
+		return nil, fmt.Errorf("angstrom: %d tiles outside [1, %d]", tiles, p.MaxCores)
+	}
+	return &SharedChip{p: p, tiles: tiles, parts: make(map[string]*Partition)}, nil
+}
+
+// Params returns the chip constants.
+func (sc *SharedChip) Params() Params { return sc.p }
+
+// Tiles reports the physical tile count.
+func (sc *SharedChip) Tiles() int { return sc.tiles }
+
+// Acquire carves a partition for the named application, reserving
+// cfg.Cores × share core-equivalents. The monitor receives the beats the
+// partition emits as it advances; the instance supplies per-beat work.
+func (sc *SharedChip) Acquire(name string, inst *workload.Instance, mon *heartbeat.Monitor, cfg Config, share float64, start sim.Time) (*Partition, error) {
+	if inst == nil || mon == nil {
+		return nil, fmt.Errorf("angstrom: acquire %q with nil instance or monitor", name)
+	}
+	if err := sc.p.Validate(cfg); err != nil {
+		return nil, err
+	}
+	if share <= 0 || share > 1 {
+		return nil, fmt.Errorf("angstrom: time share %g outside (0, 1]", share)
+	}
+	m, err := Evaluate(sc.p, inst.Spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if _, dup := sc.parts[name]; dup {
+		return nil, fmt.Errorf("angstrom: partition %q already acquired", name)
+	}
+	need := float64(cfg.Cores) * share
+	if sc.used+need > float64(sc.tiles)+1e-9 {
+		return nil, fmt.Errorf("angstrom: %g core-equivalents requested, %g of %d free",
+			need, float64(sc.tiles)-sc.used, sc.tiles)
+	}
+	pt := &Partition{sc: sc, name: name, inst: inst, mon: mon, cfg: cfg, share: share, m: m, now: start}
+	sc.used += need
+	sc.parts[name] = pt
+	return pt, nil
+}
+
+// Release returns a partition's tiles to the pool. Releasing an unknown
+// name is a no-op.
+func (sc *SharedChip) Release(name string) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	pt, ok := sc.parts[name]
+	if !ok {
+		return
+	}
+	pt.mu.Lock()
+	sc.used -= float64(pt.cfg.Cores) * pt.share
+	pt.released = true
+	pt.mu.Unlock()
+	delete(sc.parts, name)
+	if sc.used < 0 {
+		sc.used = 0
+	}
+}
+
+// Usage reports the partition count and the core-equivalents in use.
+func (sc *SharedChip) Usage() (partitions int, coreEquivalents float64) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.parts), sc.used
+}
+
+// TotalPowerW sums every partition's attributed power plus the chip's
+// constant uncore overhead — the quantity a shared power budget bounds.
+func (sc *SharedChip) TotalPowerW() float64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	total := sc.p.UncoreW
+	for _, pt := range sc.parts {
+		total += pt.Sense().PowerW
+	}
+	return total
+}
+
+// PartitionNames lists held partitions, sorted.
+func (sc *SharedChip) PartitionNames() []string {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	names := make([]string, 0, len(sc.parts))
+	for n := range sc.parts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Partition is one application's slice of a SharedChip: a private
+// configuration over shared tiles, a cached model evaluation, and the
+// execution state that turns model IPS into heartbeats.
+type Partition struct {
+	sc   *SharedChip
+	name string
+	inst *workload.Instance
+	mon  *heartbeat.Monitor
+
+	mu        sync.Mutex
+	cfg       Config
+	share     float64 // time share of the held cores (1 = dedicated)
+	m         Metrics // model evaluation for cfg, cached until reconfigured
+	beat      uint64
+	workCarry float64  // instructions completed toward the next beat
+	now       sim.Time // partition-local execution frontier
+	energyJ   float64
+	released  bool
+}
+
+// Name returns the owning application's name.
+func (pt *Partition) Name() string { return pt.name }
+
+// Config returns the partition's current hardware configuration.
+func (pt *Partition) Config() Config {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return pt.cfg
+}
+
+// Share returns the current time share.
+func (pt *Partition) Share() float64 {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return pt.share
+}
+
+// Now reports the partition's execution frontier: the simulated time up
+// to which Advance has run the application.
+func (pt *Partition) Now() sim.Time {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return pt.now
+}
+
+// SetShare changes the partition's time share, adjusting the chip's
+// core-equivalent ledger. Growth beyond the free pool is refused.
+func (pt *Partition) SetShare(share float64) error {
+	if share <= 0 || share > 1 {
+		return fmt.Errorf("angstrom: time share %g outside (0, 1]", share)
+	}
+	sc := pt.sc
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if pt.released {
+		return fmt.Errorf("angstrom: partition %q released", pt.name)
+	}
+	delta := float64(pt.cfg.Cores) * (share - pt.share)
+	if sc.used+delta > float64(sc.tiles)+1e-9 {
+		return fmt.Errorf("angstrom: share %g would exceed the tile pool", share)
+	}
+	sc.used += delta
+	pt.share = share
+	return nil
+}
+
+// setConfig validates and applies a new configuration, adjusting the
+// tile ledger for core-count changes and re-evaluating the cached model.
+func (pt *Partition) setConfig(cfg Config) error {
+	if err := pt.sc.p.Validate(cfg); err != nil {
+		return err
+	}
+	m, err := Evaluate(pt.sc.p, pt.inst.Spec, cfg)
+	if err != nil {
+		return err
+	}
+	sc := pt.sc
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if pt.released {
+		return fmt.Errorf("angstrom: partition %q released", pt.name)
+	}
+	delta := float64(cfg.Cores-pt.cfg.Cores) * pt.share
+	if sc.used+delta > float64(sc.tiles)+1e-9 {
+		return fmt.Errorf("angstrom: %d cores would exceed the tile pool", cfg.Cores)
+	}
+	sc.used += delta
+	pt.cfg = cfg
+	pt.m = m
+	return nil
+}
+
+// Sense implements actuator.Sensor: the partition's share-scaled view of
+// the chip model — aggregate IPS, attributed power (active power beyond
+// uncore, scaled by the time share), memory stall fraction, predicted
+// heart rate, and cumulative energy. It is a cached-struct read under
+// one mutex: allocation-free and cheap enough for every status request.
+func (pt *Partition) Sense() actuator.Sample {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	stall := 1 - 1/pt.m.CPI
+	if stall < 0 || math.IsNaN(stall) {
+		stall = 0
+	}
+	active := pt.m.PowerW - pt.sc.p.UncoreW
+	if active < 0 {
+		active = 0
+	}
+	return actuator.Sample{
+		Time:      pt.now,
+		IPS:       pt.m.IPS * pt.share,
+		PowerW:    active * pt.share,
+		StallFrac: stall,
+		HeartRate: pt.m.HeartRate * pt.share,
+		EnergyJ:   pt.energyJ,
+	}
+}
+
+// Metrics returns the cached model evaluation for the current
+// configuration (unscaled by the time share).
+func (pt *Partition) Metrics() Metrics {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return pt.m
+}
+
+// Advance executes the partition's application up to time `until`,
+// emitting heartbeats into the monitor at their model-exact completion
+// times (so windowed rates see no batching bias) and integrating energy.
+// The effective execution rate is the model's IPS scaled by the time
+// share. Calls with `until` at or before the current frontier are no-ops.
+func (pt *Partition) Advance(until sim.Time) error {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	if pt.released {
+		return fmt.Errorf("angstrom: partition %q released", pt.name)
+	}
+	ips := pt.m.IPS * pt.share
+	if ips <= 0 || math.IsNaN(ips) {
+		return fmt.Errorf("angstrom: partition %q effective IPS %g not positive", pt.name, ips)
+	}
+	for pt.now < until-1e-12 {
+		work := pt.inst.WorkForBeat(pt.beat)
+		if work <= 0 || math.IsNaN(work) {
+			return fmt.Errorf("angstrom: work %g for beat %d is not positive", work, pt.beat)
+		}
+		need := work - pt.workCarry
+		if need < 0 {
+			need = 0 // carry overshoot (reconfiguration mid-beat): emit now
+		}
+		tBeat := need / ips
+		if pt.now+tBeat <= until {
+			pt.now += tBeat
+			pt.energyJ += pt.attributedPowerW() * tBeat
+			pt.mon.BeatAt(pt.now)
+			pt.beat++
+			pt.workCarry = 0
+		} else {
+			rem := until - pt.now
+			pt.workCarry += rem * ips
+			pt.now = until
+			pt.energyJ += pt.attributedPowerW() * rem
+		}
+	}
+	return nil
+}
+
+// attributedPowerW is the power charged to this partition; caller holds
+// pt.mu.
+func (pt *Partition) attributedPowerW() float64 {
+	active := pt.m.PowerW - pt.sc.p.UncoreW
+	if active < 0 {
+		active = 0
+	}
+	return active * pt.share
+}
+
+// --- Knobs: the act-side hardware contract ---------------------------
+
+// Knobs returns the partition's three hardware knobs — core allocation,
+// per-core L2 capacity, and the DVFS operating point — as
+// actuator.Knob implementations. The option slices must be ascending and
+// include the partition's current setting (so every knob has a
+// well-defined starting rung).
+func (pt *Partition) Knobs(coreOptions, cacheOptionsKB []int) (cores, cache, dvfs actuator.Knob, err error) {
+	cfg := pt.Config()
+	if err := validOptions("core", coreOptions, cfg.Cores); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := validOptions("cache", cacheOptionsKB, cfg.CacheKB); err != nil {
+		return nil, nil, nil, err
+	}
+	return &coreKnob{pt: pt, options: coreOptions},
+		&cacheKnob{pt: pt, optionsKB: cacheOptionsKB},
+		&vfKnob{pt: pt}, nil
+}
+
+func validOptions(kind string, options []int, current int) error {
+	if len(options) == 0 {
+		return fmt.Errorf("angstrom: no %s options", kind)
+	}
+	found := false
+	for i, v := range options {
+		if i > 0 && v <= options[i-1] {
+			return fmt.Errorf("angstrom: %s options not ascending", kind)
+		}
+		if v == current {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("angstrom: current %s setting %d not among options %v", kind, current, options)
+	}
+	return nil
+}
+
+func indexOf(options []int, v int) int {
+	for i, o := range options {
+		if o == v {
+			return i
+		}
+	}
+	return 0
+}
+
+// coreKnob resizes the partition's core allocation.
+type coreKnob struct {
+	pt      *Partition
+	options []int
+}
+
+func (k *coreKnob) Name() string { return "cores" }
+func (k *coreKnob) Levels() int  { return len(k.options) }
+func (k *coreKnob) Level() int   { return indexOf(k.options, k.pt.Config().Cores) }
+func (k *coreKnob) SetLevel(level int) error {
+	if level < 0 || level >= len(k.options) {
+		return fmt.Errorf("angstrom: core level %d outside [0, %d)", level, len(k.options))
+	}
+	cfg := k.pt.Config()
+	cfg.Cores = k.options[level]
+	return k.pt.setConfig(cfg)
+}
+
+// cacheKnob resizes the partition's per-core L2 capacity.
+type cacheKnob struct {
+	pt        *Partition
+	optionsKB []int
+}
+
+func (k *cacheKnob) Name() string { return "l2-capacity" }
+func (k *cacheKnob) Levels() int  { return len(k.optionsKB) }
+func (k *cacheKnob) Level() int   { return indexOf(k.optionsKB, k.pt.Config().CacheKB) }
+func (k *cacheKnob) SetLevel(level int) error {
+	if level < 0 || level >= len(k.optionsKB) {
+		return fmt.Errorf("angstrom: cache level %d outside [0, %d)", level, len(k.optionsKB))
+	}
+	cfg := k.pt.Config()
+	cfg.CacheKB = k.optionsKB[level]
+	return k.pt.setConfig(cfg)
+}
+
+// vfKnob selects the partition's DVFS operating point.
+type vfKnob struct {
+	pt *Partition
+}
+
+func (k *vfKnob) Name() string { return "dvfs" }
+func (k *vfKnob) Levels() int  { return len(k.pt.sc.p.VF) }
+func (k *vfKnob) Level() int   { return k.pt.Config().VF }
+func (k *vfKnob) SetLevel(level int) error {
+	if level < 0 || level >= len(k.pt.sc.p.VF) {
+		return fmt.Errorf("angstrom: VF level %d outside [0, %d)", level, len(k.pt.sc.p.VF))
+	}
+	cfg := k.pt.Config()
+	cfg.VF = level
+	return k.pt.setConfig(cfg)
+}
+
+var (
+	_ actuator.Sensor = (*Partition)(nil)
+	_ actuator.Knob   = (*coreKnob)(nil)
+	_ actuator.Knob   = (*cacheKnob)(nil)
+	_ actuator.Knob   = (*vfKnob)(nil)
+)

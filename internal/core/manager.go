@@ -26,6 +26,9 @@ import (
 type Manager struct {
 	clock sim.Nower
 	total int // shared resource units (e.g. cores)
+	// oversub permits more applications than units; the surplus is
+	// resolved by time-sharing (fractional Allocation.Share).
+	oversub bool
 
 	apps []*managedApp
 }
@@ -41,6 +44,7 @@ type managedApp struct {
 	kfBase    float64 // smoothed base rate: rate at 1 unit
 	haveBase  bool
 	allocated int
+	share     float64 // time share of the allocated units (1 = dedicated)
 
 	prevBeats uint64
 	prevTime  sim.Time
@@ -57,9 +61,20 @@ func NewManager(clock sim.Nower, total int) (*Manager, error) {
 	return &Manager{clock: clock, total: total}, nil
 }
 
+// SetOversubscription switches the manager between refusing enrollment
+// beyond one application per unit (the default, matching the paper's
+// space-shared platforms) and time-sharing: with oversubscription on, a
+// fleet larger than the unit pool is admitted and the surplus resolved
+// by fractional time shares (Allocation.Share < 1) instead of refusal.
+func (m *Manager) SetOversubscription(on bool) { m.oversub = on }
+
+// Oversubscribed reports whether time-sharing admission is enabled.
+func (m *Manager) Oversubscribed() bool { return m.oversub }
+
 // AddApp enrolls an application: its monitor (with a declared
 // performance goal) and its resource-scaling curve. Every application
-// starts with one unit.
+// starts with one unit. Without oversubscription, enrollment beyond one
+// application per resource unit is refused.
 func (m *Manager) AddApp(name string, mon *heartbeat.Monitor, scaling func(int) float64) error {
 	if mon == nil || scaling == nil {
 		return fmt.Errorf("core: nil monitor or scaling for %q", name)
@@ -69,12 +84,13 @@ func (m *Manager) AddApp(name string, mon *heartbeat.Monitor, scaling func(int) 
 			return fmt.Errorf("core: %q already managed", name)
 		}
 	}
-	if len(m.apps)+1 > m.total {
+	if !m.oversub && len(m.apps)+1 > m.total {
 		return fmt.Errorf("core: %d applications exceed %d resource units", len(m.apps)+1, m.total)
 	}
 	m.apps = append(m.apps, &managedApp{
 		name: name, mon: mon, scaling: scaling,
 		allocated: 1,
+		share:     1,
 		prevTime:  m.clock.Now(),
 	})
 	return nil
@@ -97,10 +113,15 @@ func (m *Manager) Apps() int { return len(m.apps) }
 
 // Allocation is one application's share after a decision.
 type Allocation struct {
-	App     string
-	Units   int
-	Demand  float64 // un-rounded units the goal asks for
-	GoalMet bool    // demand fit within the partition
+	App    string
+	Units  int
+	Demand float64 // un-rounded units the goal asks for
+	// Share is the time share of the allocated units in (0, 1]: 1 means
+	// the units are dedicated; below 1 the application time-shares them
+	// with others (oversubscribed fleets). Effective core-equivalents
+	// are Units × Share.
+	Share   float64
+	GoalMet bool // demand fit within the partition
 }
 
 // Step observes every application, computes demands, and returns the new
@@ -127,7 +148,7 @@ func (m *Manager) Step() ([]Allocation, error) {
 		a.prevTime = now
 
 		if rate > 0 {
-			base := rate / a.scaling(a.allocated)
+			base := rate / (a.scaling(a.allocated) * a.share)
 			if !a.haveBase {
 				a.kfBase = base
 				a.haveBase = true
@@ -139,14 +160,19 @@ func (m *Manager) Step() ([]Allocation, error) {
 		target := goals.Performance.Target()
 		demands[i] = m.demandUnits(a, target)
 	}
-	m.partition(demands)
+	if len(m.apps) > m.total {
+		m.partitionShared(demands)
+	} else {
+		m.partition(demands)
+	}
 	out := make([]Allocation, len(m.apps))
 	for i, a := range m.apps {
 		out[i] = Allocation{
 			App:     a.name,
 			Units:   a.allocated,
 			Demand:  demands[i],
-			GoalMet: float64(a.allocated) >= demands[i],
+			Share:   a.share,
+			GoalMet: float64(a.allocated)*a.share >= demands[i],
 		}
 	}
 	return out, nil
@@ -211,7 +237,54 @@ func (m *Manager) partition(demands []float64) {
 			units = max
 		}
 		m.apps[idx].allocated = units
+		m.apps[idx].share = 1
 		remaining -= units
+		left--
+	}
+}
+
+// minTimeShare floors an oversubscribed application's time share so a
+// starved app still makes observable progress (and its rate measurement
+// stays meaningful for the next demand estimate).
+const minTimeShare = 0.01
+
+// partitionShared is the oversubscribed counterpart of partition: with
+// more applications than units, nobody can hold a dedicated core, so
+// every application is pinned to one time-shared unit and the pool is
+// water-filled over *fractional* shares. Demand above one core-equivalent
+// is unsatisfiable at Units=1 and is clamped; the same progressive
+// fair-share walk as the integral case then yields sum(shares) <= total.
+func (m *Manager) partitionShared(demands []float64) {
+	order := make([]int, len(m.apps))
+	want := make([]float64, len(m.apps))
+	for i := range order {
+		order[i] = i
+		w := demands[i]
+		if w < minTimeShare {
+			w = minTimeShare
+		}
+		if w > 1 {
+			w = 1
+		}
+		want[i] = w
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if want[order[i]] != want[order[j]] {
+			return want[order[i]] < want[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	remaining := float64(m.total)
+	left := len(order)
+	for _, idx := range order {
+		fair := remaining / float64(left)
+		s := want[idx]
+		if s > fair {
+			s = fair
+		}
+		m.apps[idx].allocated = 1
+		m.apps[idx].share = s
+		remaining -= s
 		left--
 	}
 }

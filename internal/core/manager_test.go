@@ -17,14 +17,25 @@ type managedHarness struct {
 	bases []float64
 	curve []func(int) float64
 	alloc []int
+	share []float64
 }
 
-func newManagedHarness(t *testing.T, total int, bases []float64, curves []func(int) float64) *managedHarness {
+// harnessOption tweaks the manager before apps enroll.
+type harnessOption func(*Manager)
+
+func withOversubscription() harnessOption {
+	return func(m *Manager) { m.SetOversubscription(true) }
+}
+
+func newManagedHarness(t *testing.T, total int, bases []float64, curves []func(int) float64, opts ...harnessOption) *managedHarness {
 	t.Helper()
 	clock := sim.NewClock(0)
 	mgr, err := NewManager(clock, total)
 	if err != nil {
 		t.Fatal(err)
+	}
+	for _, o := range opts {
+		o(mgr)
 	}
 	h := &managedHarness{clock: clock, mgr: mgr, bases: bases, curve: curves}
 	for i := range bases {
@@ -35,6 +46,7 @@ func newManagedHarness(t *testing.T, total int, bases []float64, curves []func(i
 			t.Fatal(err)
 		}
 		h.alloc = append(h.alloc, 1)
+		h.share = append(h.share, 1)
 	}
 	return h
 }
@@ -45,7 +57,7 @@ func (h *managedHarness) run(period float64) {
 	end := h.clock.Now() + period
 	next := make([]float64, len(h.mons))
 	for i := range next {
-		rate := h.bases[i] * h.curve[i](h.alloc[i])
+		rate := h.bases[i] * h.curve[i](h.alloc[i]) * h.share[i]
 		next[i] = h.clock.Now() + 1/rate
 	}
 	for {
@@ -60,7 +72,7 @@ func (h *managedHarness) run(period float64) {
 		}
 		h.clock.AdvanceTo(min)
 		h.mons[idx].Beat()
-		rate := h.bases[idx] * h.curve[idx](h.alloc[idx])
+		rate := h.bases[idx] * h.curve[idx](h.alloc[idx]) * h.share[idx]
 		next[idx] = min + 1/rate
 	}
 	h.clock.AdvanceTo(end)
@@ -74,6 +86,7 @@ func (h *managedHarness) step(t *testing.T) []Allocation {
 	}
 	for i, a := range allocs {
 		h.alloc[i] = a.Units
+		h.share[i] = a.Share
 	}
 	return allocs
 }
@@ -201,5 +214,113 @@ func TestManagerAllocatedLookup(t *testing.T) {
 	}
 	if u, ok := h.mgr.Allocated("a"); !ok || u != 1 {
 		t.Fatalf("initial allocation = %d, want 1", u)
+	}
+}
+
+func TestManagerOversubscriptionAdmission(t *testing.T) {
+	clock := sim.NewClock(0)
+	mgr, err := NewManager(clock, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := func(name string) error {
+		mon := heartbeat.New(clock)
+		mon.SetPerformanceGoal(10, 12)
+		return mgr.AddApp(name, mon, linear)
+	}
+	if err := add("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := add("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := add("c"); err == nil {
+		t.Fatal("third app admitted to a 2-unit pool without oversubscription")
+	}
+	mgr.SetOversubscription(true)
+	if !mgr.Oversubscribed() {
+		t.Fatal("oversubscription not reported")
+	}
+	if err := add("c"); err != nil {
+		t.Fatalf("oversubscribed admission refused: %v", err)
+	}
+}
+
+// With twice as many apps as units, the manager time-shares: every app
+// is pinned to one unit with a fractional share, shares sum to at most
+// the pool, and a heavier goal earns a larger share.
+func TestManagerTimeSharesOversubscribedFleet(t *testing.T) {
+	h := newManagedHarness(t, 2,
+		[]float64{10, 10, 10, 10},
+		[]func(int) float64{linear, linear, linear, linear},
+		withOversubscription())
+	// Apps c and d want 4x the rate of a and b.
+	h.mons[0].SetPerformanceGoal(1.9, 2.1)
+	h.mons[1].SetPerformanceGoal(1.9, 2.1)
+	h.mons[2].SetPerformanceGoal(7.6, 8.4)
+	h.mons[3].SetPerformanceGoal(7.6, 8.4)
+	var allocs []Allocation
+	for i := 0; i < 40; i++ {
+		allocs = h.step(t)
+		h.run(1.0)
+	}
+	sum := 0.0
+	for _, a := range allocs {
+		if a.Units != 1 {
+			t.Fatalf("oversubscribed app %s holds %d units, want 1", a.App, a.Units)
+		}
+		if a.Share <= 0 || a.Share > 1 {
+			t.Fatalf("share %g outside (0, 1]: %+v", a.Share, a)
+		}
+		sum += float64(a.Units) * a.Share
+	}
+	if sum > 2+1e-9 {
+		t.Fatalf("shares sum to %g core-equivalents on a 2-unit pool", sum)
+	}
+	if allocs[2].Share <= allocs[0].Share {
+		t.Fatalf("heavy app's share %g not above light app's %g", allocs[2].Share, allocs[0].Share)
+	}
+	// Light goals (rate 2 = share 0.2 at base 10) must be met even
+	// oversubscribed; heavy goals (share 0.8 each) cannot all fit.
+	if !allocs[0].GoalMet || !allocs[1].GoalMet {
+		t.Fatalf("feasible light goals unmet: %+v", allocs)
+	}
+}
+
+// Shrinking an oversubscribed fleet back under the pool restores
+// dedicated (share = 1) allocations.
+func TestManagerRecoversFromOversubscription(t *testing.T) {
+	h := newManagedHarness(t, 2,
+		[]float64{10, 10, 10},
+		[]func(int) float64{linear, linear, linear},
+		withOversubscription())
+	for i := range h.mons {
+		h.mons[i].SetPerformanceGoal(9, 11)
+		_ = i
+	}
+	var allocs []Allocation
+	for i := 0; i < 10; i++ {
+		allocs = h.step(t)
+		h.run(1.0)
+	}
+	if allocs[0].Share >= 1 {
+		t.Fatalf("3 apps on 2 units but share = %g", allocs[0].Share)
+	}
+	if !h.mgr.RemoveApp("c") {
+		t.Fatal("remove failed")
+	}
+	h.mons = h.mons[:2]
+	h.bases = h.bases[:2]
+	h.curve = h.curve[:2]
+	h.alloc = h.alloc[:2]
+	h.share = h.share[:2]
+	for i := 0; i < 10; i++ {
+		allocs = h.step(t)
+		h.run(1.0)
+	}
+	for _, a := range allocs {
+		if a.Share != 1 {
+			t.Fatalf("dedicated fleet still time-shares: %+v", a)
+		}
 	}
 }

@@ -306,6 +306,33 @@ func (r *Runtime) blendPriors(h, applied, kalman float64) float64 {
 // drivers that do not time-multiplex).
 func (r *Runtime) Apply(cfg actuator.Config) error { return r.space.Apply(cfg) }
 
+// RequiredPowerX reports the smallest declared power multiplier among
+// configurations whose (RLS-corrected) speedup reaches `speedup` — the
+// headroom a power cap must leave for the speedup to stay attainable
+// under the runtime's current model. If no configuration reaches it,
+// the cheapest configuration of the highest corrected speedup tier is
+// returned. Callers (power budget arbiters) re-evaluate it as the
+// correction layer learns, so the answer tracks observed behaviour
+// rather than the designer-declared model.
+func (r *Runtime) RequiredPowerX(speedup float64) float64 {
+	cands := r.candidates()
+	best := math.Inf(1)
+	fallbackS, fallbackX := math.Inf(-1), 1.0
+	for _, c := range cands {
+		x := r.points[c.ID].Effect.PowerX
+		if c.Speedup > fallbackS || (c.Speedup == fallbackS && x < fallbackX) {
+			fallbackS, fallbackX = c.Speedup, x
+		}
+		if c.Speedup >= speedup && x < best {
+			best = x
+		}
+	}
+	if math.IsInf(best, 1) {
+		return fallbackX
+	}
+	return best
+}
+
 // Space exposes the runtime's action space (read-mostly; used by
 // experiment drivers).
 func (r *Runtime) Space() *actuator.Space { return r.space }

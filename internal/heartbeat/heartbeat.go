@@ -102,10 +102,31 @@ func (m *Monitor) BeatTagged(tag uint64) { m.emit(tag, 0) }
 // completed since the previous beat.
 func (m *Monitor) BeatWithAccuracy(distortion float64) { m.emit(0, distortion) }
 
+// BeatAt emits an untagged heartbeat stamped at time t instead of the
+// clock's current time. Batched transports (the serving daemon's beats
+// endpoint) and interval simulators (the chip model) use it to place
+// each beat at its true emission time, so windowed rates stay unbiased
+// even when many beats arrive in one call. Timestamps must not precede
+// the previous beat; an earlier t is clamped to the previous beat's time
+// (yielding a zero-latency record) rather than corrupting rate math with
+// negative intervals.
+func (m *Monitor) BeatAt(t sim.Time) { m.emitAt(t, 0, 0) }
+
+// BeatWithAccuracyAt is BeatAt carrying a distortion report.
+func (m *Monitor) BeatWithAccuracyAt(t sim.Time, distortion float64) { m.emitAt(t, 0, distortion) }
+
 func (m *Monitor) emit(tag uint64, distortion float64) {
+	m.emitAt(m.clock.Now(), tag, distortion)
+}
+
+func (m *Monitor) emitAt(now sim.Time, tag uint64, distortion float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	now := m.clock.Now()
+	if m.count > 0 {
+		if last := m.last().Time; now < last {
+			now = last
+		}
+	}
 	rec := Record{
 		Seq:        m.count + 1,
 		Tag:        tag,
@@ -150,6 +171,18 @@ func (m *Monitor) Count() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.count
+}
+
+// LastTime reports the timestamp of the most recent beat (0 before the
+// first beat). Unlike Observe it is O(1), so per-batch hot paths can use
+// it to spread server-side timestamps without scanning the window.
+func (m *Monitor) LastTime() sim.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.count == 0 {
+		return 0
+	}
+	return m.last().Time
 }
 
 // Observation is a consistent snapshot of application progress, the

@@ -486,3 +486,55 @@ func BenchmarkEmitLargeWindow(b *testing.B) {
 		m.Beat()
 	}
 }
+
+// BeatAt places beats at explicit times: rates follow the supplied
+// spacing, not the call time, and non-monotone stamps clamp to the
+// previous beat instead of corrupting rate math.
+func TestBeatAtExplicitTimestamps(t *testing.T) {
+	clock := sim.NewClock(0)
+	m := New(clock, WithWindow(8))
+	clock.Advance(10) // the call-time clock is irrelevant to BeatAt
+	for i := 0; i < 5; i++ {
+		m.BeatAt(float64(i) * 0.5) // 2 beats/s
+	}
+	obs := m.Observe()
+	if obs.Beats != 5 {
+		t.Fatalf("beats = %d", obs.Beats)
+	}
+	if math.Abs(obs.WindowRate-2) > 1e-9 {
+		t.Fatalf("window rate %g from 0.5s spacing, want 2", obs.WindowRate)
+	}
+	if obs.LastTime != 2 {
+		t.Fatalf("last time %g, want 2", obs.LastTime)
+	}
+	if m.LastTime() != 2 {
+		t.Fatalf("LastTime() = %g, want 2", m.LastTime())
+	}
+
+	// A stamp before the previous beat clamps (zero-latency record).
+	m.BeatAt(1.0)
+	if got := m.LastTime(); got != 2 {
+		t.Fatalf("clamped beat moved time to %g", got)
+	}
+	w := m.Window()
+	if lat := w[len(w)-1].Latency; lat != 0 {
+		t.Fatalf("clamped beat latency %g, want 0", lat)
+	}
+}
+
+func TestBeatWithAccuracyAt(t *testing.T) {
+	clock := sim.NewClock(0)
+	m := New(clock, WithWindow(4))
+	m.BeatWithAccuracyAt(1, 0.25)
+	w := m.Window()
+	if len(w) != 1 || w[0].Distortion != 0.25 || w[0].Time != 1 {
+		t.Fatalf("record %+v", w[0])
+	}
+}
+
+func TestLastTimeBeforeFirstBeat(t *testing.T) {
+	m := New(sim.NewClock(5))
+	if got := m.LastTime(); got != 0 {
+		t.Fatalf("LastTime before any beat = %g, want 0", got)
+	}
+}

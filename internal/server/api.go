@@ -2,6 +2,19 @@ package server
 
 import "sort"
 
+// Enrollment modes: how decisions reach the application's hardware.
+const (
+	// ModeDefault picks the daemon's default (chip when configured).
+	ModeDefault = "default"
+	// ModeChip binds the app to a partition of the shared Angstrom chip;
+	// decisions actuate real knobs (cores, L2, DVFS) and the partition
+	// emits the app's heartbeats as its modeled execution progresses.
+	ModeChip = "chip"
+	// ModeAdvisory serves software ladders the client actuates itself,
+	// beating over the API as it makes progress.
+	ModeAdvisory = "advisory"
+)
+
 // EnrollRequest registers an application with the daemon.
 //
 //	POST /v1/apps
@@ -9,12 +22,16 @@ type EnrollRequest struct {
 	// Name uniquely identifies the application.
 	Name string `json:"name"`
 	// Workload names the declared behaviour profile (internal/workload
-	// spec) used for the advisory action space and the core-scaling
-	// curve. Defaults to "barnes".
+	// spec) used for the action space and the core-scaling curve.
+	// Defaults to "barnes".
 	Workload string `json:"workload,omitempty"`
 	// Window is the heart-rate averaging window in beats (default: the
 	// daemon's configured window).
 	Window int `json:"window,omitempty"`
+	// Mode selects chip-backed or advisory serving (default: chip when
+	// the daemon runs with a chip, advisory otherwise). See ModeChip and
+	// ModeAdvisory.
+	Mode string `json:"mode,omitempty"`
 	// MinRate/MaxRate declare the performance goal band in beats/s.
 	// MinRate is required; MaxRate 0 means "no upper bound".
 	MinRate float64 `json:"min_rate"`
@@ -25,10 +42,17 @@ type EnrollRequest struct {
 //
 //	POST /v1/apps/{name}/beats
 type BeatRequest struct {
-	// Count is how many beats to emit (default 1).
+	// Count is how many beats to emit (default 1, or len(Timestamps)
+	// when timestamps are supplied).
 	Count int `json:"count,omitempty"`
 	// Distortion, if nonzero, is reported with the batch's last beat.
 	Distortion float64 `json:"distortion,omitempty"`
+	// Timestamps optionally places each beat of the batch: one
+	// non-decreasing timestamp per beat, in seconds of any client epoch
+	// (only the spacing is used; the batch is shifted so its last beat
+	// lands at the server's current time). Without timestamps the
+	// server spreads the batch evenly since the app's previous beat.
+	Timestamps []float64 `json:"timestamps,omitempty"`
 }
 
 // GoalRequest replaces an application's performance goal.
@@ -61,8 +85,28 @@ type AllocationView struct {
 	Units int `json:"units"`
 	// Demand is the un-rounded unit count the goal asked for.
 	Demand float64 `json:"demand"`
+	// Share is the time share of the allocated units in (0, 1]; below 1
+	// the app time-shares its units (oversubscribed fleet).
+	Share float64 `json:"time_share,omitempty"`
 	// GoalFit reports whether the demand fit inside the partition.
 	GoalFit bool `json:"goal_fit"`
+}
+
+// ChipView is a chip-backed app's hardware state: its partition's
+// configuration and the Sensor sample behind the controller's feedback.
+type ChipView struct {
+	Cores     int     `json:"cores"`
+	CacheKB   int     `json:"cache_kb"`
+	VF        string  `json:"vf"`
+	TimeShare float64 `json:"time_share"`
+	IPS       float64 `json:"ips"`
+	PowerW    float64 `json:"power_w"`
+	StallFrac float64 `json:"stall_frac"`
+	HeartRate float64 `json:"heart_rate"`
+	EnergyJ   float64 `json:"energy_j"`
+	// ActuationErr is the last knob refusal, if any ("" when clean);
+	// transient during fleet rebalances.
+	ActuationErr string `json:"actuation_err,omitempty"`
 }
 
 // DecisionView is the latest SEEC decision, actuator settings resolved
@@ -89,6 +133,7 @@ type AppStatus struct {
 	GoalMet     bool            `json:"goal_met"`
 	Observation ObservationView `json:"observation"`
 	Cores       AllocationView  `json:"cores"`
+	Chip        *ChipView       `json:"chip,omitempty"`
 	Decision    *DecisionView   `json:"decision,omitempty"`
 	DecisionErr string          `json:"decision_err,omitempty"`
 	EnrolledAt  float64         `json:"enrolled_at"`
@@ -103,6 +148,7 @@ func sortAppStatuses(s []AppStatus) {
 //	GET /v1/stats
 type StatsResponse struct {
 	Apps          int     `json:"apps"`
+	ChipApps      int     `json:"chip_apps,omitempty"`
 	Cores         int     `json:"cores"`
 	Ticks         uint64  `json:"ticks"`
 	Beats         uint64  `json:"beats"`
@@ -111,6 +157,24 @@ type StatsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	PeriodSeconds float64 `json:"period_seconds"`
 	Accelerated   bool    `json:"accelerated"`
+}
+
+// ChipStatusResponse is the shared chip's tile-ledger snapshot.
+//
+//	GET /v1/chip
+type ChipStatusResponse struct {
+	// Tiles is the physical tile pool.
+	Tiles int `json:"tiles"`
+	// Partitions is the number of applications holding a partition.
+	Partitions int `json:"partitions"`
+	// CoreEquivalents is the ledger in use: sum of cores × time share.
+	CoreEquivalents float64 `json:"core_equivalents"`
+	// PowerW is uncore plus every partition's attributed power.
+	PowerW float64 `json:"power_w"`
+	// PowerBudgetW is the configured chip-wide budget (0 = unlimited).
+	PowerBudgetW float64 `json:"power_budget_w,omitempty"`
+	// UncoreW is the constant chip overhead.
+	UncoreW float64 `json:"uncore_w"`
 }
 
 // errorResponse is the uniform error body.

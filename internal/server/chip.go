@@ -1,0 +1,369 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"angstrom/internal/actuator"
+	"angstrom/internal/angstrom"
+	"angstrom/internal/core"
+	"angstrom/internal/sim"
+	"angstrom/internal/workload"
+)
+
+// This file binds the serving daemon to the Angstrom chip model: in
+// chip-backed mode every enrolled application holds a Partition of one
+// shared angstrom.SharedChip, and the decision engine actuates *real*
+// hardware knobs — core allocation, L2 capacity, DVFS — through the
+// actuator.Knob contract instead of handing the client an advisory
+// ladder. Observation flows the other way through actuator.Sensor:
+// model IPS, attributed power, and stall fraction feed the controller
+// alongside the heartbeats the partition emits as its workload executes.
+
+// ChipConfig enables and tunes chip-backed serving.
+type ChipConfig struct {
+	// Tiles is the physical tile count of the shared chip (default: the
+	// daemon's core pool, capped at the model's MaxCores).
+	Tiles int
+	// CoreOptions is the ascending core-allocation ladder offered to
+	// every application. Values must be powers of two and include 1
+	// (every app starts on one core). Default: 1..64 powers of two,
+	// capped at Tiles.
+	CoreOptions []int
+	// CacheOptionsKB is the ascending per-core L2 capacity ladder.
+	// Default: 32, 64, 128.
+	CacheOptionsKB []int
+	// PowerBudgetW, when positive, is a chip-wide power budget: each
+	// tick the daemon splits the budget beyond uncore evenly across
+	// chip-backed applications and caps each decision engine's power
+	// multiplier accordingly.
+	PowerBudgetW float64
+	// Params overrides the chip model constants (default DefaultParams).
+	Params *angstrom.Params
+	// KnobWrap, when non-nil, wraps each partition's raw hardware knobs
+	// before the daemon adds rate limiting and allocation clamping.
+	// Tests use it to interpose recording fakes at the exact
+	// Actuator/Sensor interface boundary.
+	KnobWrap func(app string, k actuator.Knob) actuator.Knob
+}
+
+func (c *ChipConfig) fill(cores int) {
+	if c.Params == nil {
+		p := angstrom.DefaultParams()
+		c.Params = &p
+	}
+	if c.Tiles == 0 {
+		c.Tiles = cores
+	}
+	if c.Tiles > c.Params.MaxCores {
+		c.Tiles = c.Params.MaxCores
+	}
+	if len(c.CoreOptions) == 0 {
+		for v := 1; v <= 64 && v <= c.Tiles; v *= 2 {
+			c.CoreOptions = append(c.CoreOptions, v)
+		}
+	}
+	if len(c.CacheOptionsKB) == 0 {
+		c.CacheOptionsKB = []int{32, 64, 128}
+	}
+}
+
+func (c *ChipConfig) validate() error {
+	if c.Tiles < 1 {
+		return fmt.Errorf("server: chip with %d tiles", c.Tiles)
+	}
+	if len(c.CoreOptions) == 0 || c.CoreOptions[0] != 1 {
+		return fmt.Errorf("server: chip core options %v must start at 1", c.CoreOptions)
+	}
+	for _, v := range c.CoreOptions {
+		if v > c.Tiles {
+			return fmt.Errorf("server: core option %d exceeds %d tiles", v, c.Tiles)
+		}
+	}
+	return nil
+}
+
+// seedFor derives a stable per-application workload seed so re-enrolling
+// the same name reproduces the same beat sequence.
+func seedFor(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// cappedKnob clamps every requested level so the knob's value never
+// exceeds the manager's current allocation — the seam where the
+// water-filling arbiter bounds the per-application decision engine.
+type cappedKnob struct {
+	actuator.Knob
+	options []int
+	units   func() int
+}
+
+func (k *cappedKnob) SetLevel(level int) error {
+	if max := len(k.options) - 1; level > max {
+		level = max
+	}
+	cap := k.units()
+	for level > 0 && k.options[level] > cap {
+		level--
+	}
+	return k.Knob.SetLevel(level)
+}
+
+// bindChip acquires a chip partition for a newly enrolling application
+// and builds its hardware-backed action space. Called with d.mu held.
+func (d *Daemon) bindChip(a *app, spec workload.Spec) error {
+	cc := d.cfg.Chip
+	p := *cc.Params
+	base := angstrom.Config{Cores: 1, CacheKB: cc.CacheOptionsKB[0], VF: 0}
+	inst := workload.NewInstance(spec, seedFor(a.name))
+
+	share, err := d.makeRoom()
+	if err != nil {
+		return err
+	}
+	part, err := d.chip.Acquire(a.name, inst, a.mon, base, share, d.clock.Now())
+	if err != nil {
+		return fmt.Errorf("server: %w: %v", ErrPoolExhausted, err)
+	}
+
+	coreK, cacheK, vfK, err := part.Knobs(cc.CoreOptions, cc.CacheOptionsKB)
+	if err != nil {
+		d.chip.Release(a.name)
+		return err
+	}
+	wrap := func(k actuator.Knob) actuator.Knob {
+		if cc.KnobWrap != nil {
+			k = cc.KnobWrap(a.name, k)
+		}
+		return actuator.NewStepped(k)
+	}
+	coreKnob := &cappedKnob{Knob: wrap(coreK), options: cc.CoreOptions, units: a.allocUnits}
+	cacheKnob := wrap(cacheK)
+	vfKnob := wrap(vfK)
+
+	space, err := buildChipSpace(p, spec, base, cc, coreKnob, cacheKnob, vfKnob)
+	if err != nil {
+		d.chip.Release(a.name)
+		return err
+	}
+	rt, err := core.New(a.name, d.clock, a.mon, space, core.Options{})
+	if err != nil {
+		d.chip.Release(a.name)
+		return err
+	}
+	a.part = part
+	a.rt = rt
+	a.nomActiveW = math.Max(part.Metrics().PowerW-p.UncoreW, 1e-6)
+	minX := math.Inf(1)
+	for _, pt := range space.Points() {
+		minX = math.Min(minX, pt.Effect.PowerX)
+	}
+	a.minPowerX = minX
+	return nil
+}
+
+// makeRoom returns the time share a new chip partition should start
+// with. When the pool has a free core the newcomer gets a dedicated
+// one; otherwise (oversubscribed fleet) every existing partition is
+// shrunk proportionally toward the new fair share so the newcomer fits.
+// Called with d.mu held.
+func (d *Daemon) makeRoom() (float64, error) {
+	tiles := float64(d.chip.Tiles())
+	parts, used := d.chip.Usage()
+	free := tiles - used
+	if free >= 1 {
+		return 1, nil
+	}
+	if !d.cfg.Oversubscribe {
+		return 0, fmt.Errorf("server: %w (chip pool full)", ErrPoolExhausted)
+	}
+	slot := tiles / float64(parts+1)
+	if slot > 1 {
+		slot = 1
+	}
+	if slot < minChipShare {
+		return 0, fmt.Errorf("server: %w (chip oversubscribed beyond %gx)", ErrPoolExhausted, 1/minChipShare)
+	}
+	if used > 0 {
+		scale := (tiles - slot) / used
+		if scale < 1 {
+			for _, other := range d.apps {
+				if other.part == nil {
+					continue
+				}
+				s := other.part.Share() * scale
+				if s < minChipShare {
+					s = minChipShare
+				}
+				_ = other.part.SetShare(s) // shrink: cannot overdraw the ledger
+			}
+		}
+	}
+	_, used = d.chip.Usage()
+	free = tiles - used
+	if free < minChipShare {
+		return 0, fmt.Errorf("server: %w (chip pool full)", ErrPoolExhausted)
+	}
+	if slot > free {
+		slot = free
+	}
+	return slot, nil
+}
+
+// minChipShare is the smallest time share a chip partition may hold —
+// beyond ~100 applications per tile the model's rates stop being
+// meaningful within one decision period.
+const minChipShare = 0.01
+
+// buildChipSpace turns the partition's knobs into SEEC actuators whose
+// declared effects are the chip model's predicted multipliers relative
+// to the base configuration (the designer-declared model of §3.2; the
+// runtime's RLS layer corrects divergence on line).
+func buildChipSpace(p angstrom.Params, spec workload.Spec, base angstrom.Config, cc *ChipConfig,
+	coreKnob, cacheKnob, vfKnob actuator.Knob) (*actuator.Space, error) {
+	baseM, err := angstrom.Evaluate(p, spec, base)
+	if err != nil {
+		return nil, err
+	}
+	baseActive := math.Max(baseM.PowerW-p.UncoreW, 1e-9)
+	effect := func(cfg angstrom.Config) (speedup, power float64, err error) {
+		m, err := angstrom.Evaluate(p, spec, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		return m.HeartRate / baseM.HeartRate, math.Max(m.PowerW-p.UncoreW, 1e-9) / baseActive, nil
+	}
+	ladder := func(k actuator.Knob, n int, cfgAt func(int) angstrom.Config, nominalAt func(int) bool,
+		label func(int) string, delay float64) (*actuator.Actuator, error) {
+		labels := make([]string, n)
+		speed := make([]float64, n)
+		power := make([]float64, n)
+		for i := 0; i < n; i++ {
+			labels[i] = label(i)
+			if nominalAt(i) {
+				speed[i], power[i] = 1, 1
+				continue
+			}
+			var err error
+			if speed[i], power[i], err = effect(cfgAt(i)); err != nil {
+				return nil, err
+			}
+		}
+		return actuator.FromKnob(k, labels, speed, power, delay, actuator.GlobalScope)
+	}
+
+	coreAct, err := ladder(coreKnob, len(cc.CoreOptions),
+		func(i int) angstrom.Config { c := base; c.Cores = cc.CoreOptions[i]; return c },
+		func(i int) bool { return cc.CoreOptions[i] == base.Cores },
+		func(i int) string { return fmt.Sprintf("%d cores", cc.CoreOptions[i]) }, 0.001)
+	if err != nil {
+		return nil, err
+	}
+	cacheAct, err := ladder(cacheKnob, len(cc.CacheOptionsKB),
+		func(i int) angstrom.Config { c := base; c.CacheKB = cc.CacheOptionsKB[i]; return c },
+		func(i int) bool { return cc.CacheOptionsKB[i] == base.CacheKB },
+		func(i int) string { return fmt.Sprintf("%dKB L2", cc.CacheOptionsKB[i]) }, 0.0001)
+	if err != nil {
+		return nil, err
+	}
+	vfAct, err := ladder(vfKnob, len(p.VF),
+		func(i int) angstrom.Config { c := base; c.VF = i; return c },
+		func(i int) bool { return i == base.VF },
+		func(i int) string { return fmt.Sprintf("%.1fV/%.0fMHz", p.VF[i].Volts, p.VF[i].FHz/1e6) }, 0.0005)
+	if err != nil {
+		return nil, err
+	}
+	return actuator.NewSpace(coreAct, cacheAct, vfAct)
+}
+
+// runChipInterval is the act+observe phase for one chip-backed app:
+// execute the previous decision's schedule (low slice first) over the
+// elapsed wall/simulated interval, advancing the partition so it emits
+// heartbeats at model-exact times. Called only from the tick goroutine.
+func (d *Daemon) runChipInterval(a *app, now sim.Time) {
+	start := a.part.Now()
+	dt := now - start
+	if dt <= 0 {
+		return
+	}
+	beatsBefore := a.mon.Count()
+	defer func() { d.beats.Add(a.mon.Count() - beatsBefore) }()
+	var actErr error
+	t := start
+	for _, sl := range a.pending {
+		if err := a.rt.Apply(sl.Cfg); err != nil && actErr == nil {
+			actErr = err // knob refusals during rebalance are transient
+		}
+		t += sl.Duration * dt
+		if t > now {
+			t = now
+		}
+		if err := a.part.Advance(t); err != nil {
+			if actErr == nil {
+				actErr = err
+			}
+			break
+		}
+	}
+	if err := a.part.Advance(now); err != nil && actErr == nil {
+		actErr = err
+	}
+	a.mu.Lock()
+	if actErr != nil {
+		a.actErr = actErr.Error()
+	} else {
+		a.actErr = ""
+	}
+	a.mu.Unlock()
+}
+
+// rebalancePowerCaps apportions the chip power budget beyond uncore
+// across the chip-backed fleet in proportion to each application's
+// goal-implied power requirement — the RLS-corrected multiplier its
+// goal needs, priced at its nominal active power. An even split would
+// starve power-hungry workloads while light ones sit on slack; and a
+// requirement frozen at enrollment would go stale as the correction
+// layer learns, so the split is re-derived every tick. SetPowerCap (a
+// translator rebuild) only runs when an app's cap actually moves.
+// Called from the tick goroutine, which owns every Runtime.
+func (d *Daemon) rebalancePowerCaps(chipApps []*app) {
+	if d.cfg.Chip == nil || len(chipApps) == 0 || d.cfg.Chip.PowerBudgetW <= 0 {
+		return
+	}
+	budget := d.cfg.Chip.PowerBudgetW
+	sum := 0.0
+	needX := make([]float64, len(chipApps))
+	for i, a := range chipApps {
+		needX[i] = 1
+		goals := a.mon.Goals()
+		if g := goals.Performance; g != nil {
+			base := a.rt.BaseEstimate() // observed rate at speedup 1
+			if base <= 0 {
+				base = a.part.Metrics().HeartRate
+			}
+			if base > 0 {
+				needX[i] = a.rt.RequiredPowerX(g.Target() / base)
+			}
+		}
+		sum += needX[i] * a.nomActiveW
+	}
+	scale := 0.0
+	if sum > 0 {
+		scale = math.Max((budget-d.cfg.Chip.Params.UncoreW)/sum, 0)
+	}
+	for i, a := range chipApps {
+		capX := needX[i] * scale
+		if capX < a.minPowerX {
+			capX = a.minPowerX // budget unsatisfiable; floor at the cheapest config
+		}
+		if a.lastCapX > 0 && math.Abs(capX-a.lastCapX) < 0.01*a.lastCapX {
+			continue
+		}
+		if err := a.rt.SetPowerCap(capX); err == nil {
+			a.lastCapX = capX
+		}
+	}
+}

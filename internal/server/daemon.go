@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"angstrom/internal/actuator"
+	"angstrom/internal/angstrom"
 	"angstrom/internal/core"
 	"angstrom/internal/heartbeat"
 	"angstrom/internal/sim"
@@ -50,7 +51,8 @@ const MaxBeatBatch = 10000
 type Config struct {
 	// Cores is the shared resource pool the Manager water-fills across
 	// enrolled applications (default 1024). Enrollment beyond one app per
-	// core is refused, exactly like the in-simulation Manager.
+	// core is refused, exactly like the in-simulation Manager, unless
+	// Oversubscribe is set.
 	Cores int
 	// Period is the decision period of the ODA loop (default 100ms).
 	Period time.Duration
@@ -61,6 +63,15 @@ type Config struct {
 	// Window is the default heartbeat averaging window in beats when an
 	// enrollment does not specify one (default heartbeat.DefaultWindow).
 	Window int
+	// Oversubscribe admits fleets larger than the core pool: surplus
+	// applications time-share units (fractional Allocation.Share)
+	// instead of being refused at enrollment.
+	Oversubscribe bool
+	// Chip, when non-nil, turns on chip-backed serving: every enrolled
+	// application is bound to a partition of one shared angstrom chip
+	// and actuated through real hardware knobs (cores, L2, DVFS)
+	// instead of an advisory ladder.
+	Chip *ChipConfig
 }
 
 func (c *Config) fill() {
@@ -73,6 +84,9 @@ func (c *Config) fill() {
 	if c.Window == 0 {
 		c.Window = heartbeat.DefaultWindow
 	}
+	if c.Chip != nil {
+		c.Chip.fill(c.Cores)
+	}
 }
 
 // app is one enrolled application's serving state.
@@ -82,13 +96,29 @@ type app struct {
 	mon  *heartbeat.Monitor
 	rt   *core.Runtime // stepped only by the tick goroutine
 
+	// Chip-backed state (nil/zero for advisory apps). part is the app's
+	// slice of the shared chip; units mirrors the manager's latest unit
+	// grant for the core-knob clamp; pending is the previous decision's
+	// schedule, executed by the next tick (tick goroutine only).
+	part       *angstrom.Partition
+	units      atomic.Int64
+	pending    []core.Slice
+	nomActiveW float64 // active watts at the nominal configuration
+	minPowerX  float64 // cheapest power multiplier in the action space
+	lastCapX   float64 // last applied power cap (tick goroutine only)
+
 	mu          sync.Mutex
 	decision    core.Decision
 	hasDecision bool
 	decisionErr string
+	actErr      string // last chip actuation error ("" when clean)
 	alloc       core.Allocation
 	enrolledAt  sim.Time
 }
+
+// allocUnits reports the manager's current unit grant (the core-knob
+// clamp reads it from the actuation path).
+func (a *app) allocUnits() int { return int(a.units.Load()) }
 
 // Daemon is the multi-application serving runtime.
 type Daemon struct {
@@ -96,7 +126,8 @@ type Daemon struct {
 	clock    sim.Nower
 	simClock *AtomicClock // non-nil iff Accel > 0
 
-	reg *heartbeat.Registry
+	reg  *heartbeat.Registry
+	chip *angstrom.SharedChip // non-nil iff cfg.Chip != nil
 
 	mu   sync.RWMutex
 	apps map[string]*app
@@ -139,6 +170,16 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 	d.mgr, err = core.NewManager(d.clock, cfg.Cores)
 	if err != nil {
 		return nil, err
+	}
+	d.mgr.SetOversubscription(cfg.Oversubscribe)
+	if cfg.Chip != nil {
+		if err := cfg.Chip.validate(); err != nil {
+			return nil, err
+		}
+		d.chip, err = angstrom.NewSharedChip(*cfg.Chip.Params, cfg.Chip.Tiles)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return d, nil
 }
@@ -195,7 +236,8 @@ func validGoal(minRate, maxRate float64) error {
 // Enroll registers an application and starts controlling it on the next
 // tick. The request must carry a performance goal: a goalless app would
 // stall both decision layers (core.Runtime and core.Manager refuse to
-// step without one).
+// step without one). In chip-backed mode the application is bound to a
+// partition of the shared chip unless it asks for advisory mode.
 func (d *Daemon) Enroll(req EnrollRequest) error {
 	// The name is an URL path segment and the registry key; accept only
 	// names that round-trip unchanged (no whitespace, no separators) so
@@ -206,6 +248,19 @@ func (d *Daemon) Enroll(req EnrollRequest) error {
 	}
 	if err := validGoal(req.MinRate, req.MaxRate); err != nil {
 		return err
+	}
+	chipBacked := false
+	switch req.Mode {
+	case "", ModeDefault:
+		chipBacked = d.chip != nil
+	case ModeChip:
+		if d.chip == nil {
+			return fmt.Errorf("server: chip mode not enabled on this daemon")
+		}
+		chipBacked = true
+	case ModeAdvisory:
+	default:
+		return fmt.Errorf("server: unknown mode %q", req.Mode)
 	}
 	wl := req.Workload
 	if wl == "" {
@@ -225,46 +280,65 @@ func (d *Daemon) Enroll(req EnrollRequest) error {
 
 	mon := heartbeat.New(d.clock, heartbeat.WithWindow(window))
 	mon.SetPerformanceGoal(req.MinRate, req.MaxRate)
-	space, err := buildSpace(spec)
-	if err != nil {
-		return err
-	}
-	rt, err := core.New(name, d.clock, mon, space, core.Options{})
-	if err != nil {
-		return err
-	}
-	a := &app{name: name, spec: spec, mon: mon, rt: rt, enrolledAt: d.clock.Now()}
-	a.alloc = core.Allocation{App: name, Units: 1}
+	a := &app{name: name, spec: spec, mon: mon, enrolledAt: d.clock.Now()}
+	a.units.Store(1)
+	a.alloc = core.Allocation{App: name, Units: 1, Share: 1}
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, dup := d.apps[name]; dup {
 		return fmt.Errorf("server: %q %w", name, ErrDuplicate)
 	}
-	if d.mgr.Apps() >= d.cfg.Cores {
+	if !d.cfg.Oversubscribe && d.mgr.Apps() >= d.cfg.Cores {
 		return fmt.Errorf("server: %w (%d apps on %d cores)", ErrPoolExhausted, d.mgr.Apps(), d.cfg.Cores)
 	}
+	if chipBacked {
+		if err := d.bindChip(a, spec); err != nil {
+			return err
+		}
+	} else {
+		space, err := buildSpace(spec)
+		if err != nil {
+			return err
+		}
+		if a.rt, err = core.New(name, d.clock, mon, space, core.Options{}); err != nil {
+			return err
+		}
+	}
 	if err := d.mgr.AddApp(name, mon, spec.ParallelSpeedup); err != nil {
+		d.unbindChip(a)
 		return err
 	}
 	if err := d.reg.Enroll(name, mon); err != nil {
 		d.mgr.RemoveApp(name)
+		d.unbindChip(a)
 		return err
 	}
 	d.apps[name] = a
 	return nil
 }
 
+// unbindChip releases an app's chip partition, if any. The pointer is
+// left in place (the tick goroutine may hold a snapshot of the app);
+// the released partition turns further actuation into clean errors.
+func (d *Daemon) unbindChip(a *app) {
+	if a.part != nil {
+		d.chip.Release(a.name)
+	}
+}
+
 // Withdraw removes an application and frees its core share.
 func (d *Daemon) Withdraw(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, ok := d.apps[name]; !ok {
+	a, ok := d.apps[name]
+	if !ok {
 		return fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
 	}
 	delete(d.apps, name)
 	d.reg.Withdraw(name)
 	d.mgr.RemoveApp(name)
+	d.unbindChip(a)
 	return nil
 }
 
@@ -280,6 +354,18 @@ func (d *Daemon) lookup(name string) (*app, bool) {
 // Beat ingests count heartbeats for name, the last one carrying the
 // given distortion. The monitor is internally synchronized, so beats
 // from many connections interleave safely with the tick goroutine.
+//
+// A batch does not share one timestamp: the beats are spread evenly
+// across the interval since the application's previous beat, so
+// windowed rates stay unbiased even when the averaging window is
+// smaller than a batch. (The very first batch has no prior reference
+// and lands at the current time; clients that need exact placement send
+// per-beat timestamps via BeatTimestamps.)
+//
+// Chip-backed applications are refused: their partition is the beat
+// source, and a client beat stamped at wall-clock time would drag the
+// monitor ahead of the partition's execution frontier and corrupt the
+// controller's signal.
 func (d *Daemon) Beat(name string, count int, distortion float64) error {
 	if count < 1 || count > MaxBeatBatch {
 		return fmt.Errorf("server: beat count %d outside [1, %d]", count, MaxBeatBatch)
@@ -288,19 +374,74 @@ func (d *Daemon) Beat(name string, count int, distortion float64) error {
 	if !ok {
 		return fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
 	}
-	for i := 0; i < count-1; i++ {
-		a.mon.Beat()
+	if a.part != nil {
+		return fmt.Errorf("server: %q is chip-backed; its beats are chip-emitted", name)
 	}
-	if distortion != 0 {
-		a.mon.BeatWithAccuracy(distortion)
+	now := d.clock.Now()
+	last := a.mon.LastTime()
+	if count == 1 || last <= 0 || now <= last {
+		// No interval to spread across: single beat, first-ever batch,
+		// or a paused clock (accelerated daemons between ticks).
+		for i := 0; i < count-1; i++ {
+			a.mon.BeatAt(now)
+		}
+		d.finishBatch(a, now, distortion)
 	} else {
-		a.mon.Beat()
+		step := (now - last) / float64(count)
+		for i := 1; i < count; i++ {
+			a.mon.BeatAt(last + step*float64(i))
+		}
+		d.finishBatch(a, now, distortion)
 	}
 	d.beats.Add(uint64(count))
 	return nil
 }
 
-// SetGoal replaces the application's performance goal.
+// finishBatch emits a batch's final beat at t with its distortion.
+func (d *Daemon) finishBatch(a *app, t sim.Time, distortion float64) {
+	if distortion != 0 {
+		a.mon.BeatWithAccuracyAt(t, distortion)
+	} else {
+		a.mon.BeatAt(t)
+	}
+}
+
+// BeatTimestamps ingests a batch whose per-beat timestamps the client
+// supplied. The timestamps may use any epoch (a client monotonic clock,
+// Unix seconds): only their spacing is used — the batch is shifted so
+// its last beat lands at the daemon's current time, which makes the
+// path immune to client/server clock skew. Timestamps must be
+// non-decreasing; beats that would land before the application's
+// previous beat are clamped to it by the monitor.
+func (d *Daemon) BeatTimestamps(name string, ts []float64, distortion float64) error {
+	if len(ts) < 1 || len(ts) > MaxBeatBatch {
+		return fmt.Errorf("server: beat count %d outside [1, %d]", len(ts), MaxBeatBatch)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] < ts[i-1] {
+			return fmt.Errorf("server: timestamps decrease at index %d (%g after %g)", i, ts[i], ts[i-1])
+		}
+	}
+	a, ok := d.lookup(name)
+	if !ok {
+		return fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
+	}
+	if a.part != nil {
+		return fmt.Errorf("server: %q is chip-backed; its beats are chip-emitted", name)
+	}
+	now := d.clock.Now()
+	shift := now - ts[len(ts)-1]
+	for _, t := range ts[:len(ts)-1] {
+		a.mon.BeatAt(t + shift)
+	}
+	d.finishBatch(a, now, distortion)
+	d.beats.Add(uint64(len(ts)))
+	return nil
+}
+
+// SetGoal replaces the application's performance goal. Chip-backed apps
+// under a power budget see their budget share re-derived on the next
+// tick.
 func (d *Daemon) SetGoal(name string, minRate, maxRate float64) error {
 	if err := validGoal(minRate, maxRate); err != nil {
 		return err
@@ -314,20 +455,41 @@ func (d *Daemon) SetGoal(name string, minRate, maxRate float64) error {
 }
 
 // Tick runs one decision period for every enrolled application: advance
-// the accelerated clock (if any), arbitrate shared cores, then step each
-// app's SEEC runtime. Start runs this on a timer; accelerated drivers
-// and benchmarks may call it directly instead (never concurrently with
+// the accelerated clock (if any), execute chip-backed apps over the
+// elapsed interval (emitting their heartbeats), arbitrate shared cores,
+// then step each app's SEEC runtime and queue its schedule for the next
+// interval. Start runs this on a timer; accelerated drivers and
+// benchmarks may call it directly instead (never concurrently with
 // Start).
 func (d *Daemon) Tick() {
 	if d.simClock != nil {
 		d.simClock.Advance(d.cfg.Accel)
 	}
+	now := d.clock.Now()
 
-	d.mu.Lock()
+	d.mu.RLock()
 	snapshot := make([]*app, 0, len(d.apps))
 	for _, a := range d.apps {
 		snapshot = append(snapshot, a)
 	}
+	d.mu.RUnlock()
+
+	// Act + observe: run every chip partition up to `now` under the
+	// previous decision's schedule, so the heartbeats the manager and
+	// controllers are about to read reflect this interval's execution.
+	var chipApps []*app
+	for _, a := range snapshot {
+		if a.part == nil {
+			continue
+		}
+		if cur, ok := d.lookup(a.name); !ok || cur != a {
+			continue // withdrawn since the snapshot; partition released
+		}
+		chipApps = append(chipApps, a)
+		d.runChipInterval(a, now)
+	}
+
+	d.mu.Lock()
 	var allocs []core.Allocation
 	if d.mgr.Apps() > 0 {
 		var err error
@@ -335,13 +497,42 @@ func (d *Daemon) Tick() {
 			allocs = nil
 		}
 	}
-	d.mu.Unlock()
-
 	byName := make(map[string]core.Allocation, len(allocs))
 	for _, al := range allocs {
 		byName[al.App] = al
 	}
+
+	// Apply the manager's time shares to chip partitions, shrinks first
+	// so the grows always find the freed core-equivalents in the ledger.
+	// Still under d.mu: Enroll's makeRoom also shrinks shares (to carve
+	// a slot for a newcomer), and a concurrent grow pass working from
+	// pre-shrink values would undo it and spuriously refuse admission.
+	for pass := 0; pass < 2; pass++ {
+		for _, a := range chipApps {
+			al, ok := byName[a.name]
+			if !ok || al.Share <= 0 {
+				continue
+			}
+			cur := a.part.Share()
+			if (pass == 0 && al.Share < cur) || (pass == 1 && al.Share > cur) {
+				_ = a.part.SetShare(al.Share) // transient refusals heal next tick
+			}
+		}
+	}
+	d.mu.Unlock()
+
+	d.rebalancePowerCaps(chipApps) // no-op without a budget; cheap when caps are stable
+
 	for _, a := range snapshot {
+		// Skip apps withdrawn since the snapshot: stepping them would
+		// count decisions for (and actuate) an app no longer enrolled.
+		if cur, ok := d.lookup(a.name); !ok || cur != a {
+			continue
+		}
+		al, hasAlloc := byName[a.name]
+		if hasAlloc {
+			a.units.Store(int64(al.Units))
+		}
 		dec, err := a.rt.Step()
 		a.mu.Lock()
 		if err != nil {
@@ -352,10 +543,15 @@ func (d *Daemon) Tick() {
 			a.decisionErr = ""
 			d.decisions.Add(1)
 		}
-		if al, ok := byName[a.name]; ok {
+		if hasAlloc {
 			a.alloc = al
 		}
 		a.mu.Unlock()
+		if a.part != nil && err == nil {
+			// Slices(1) yields fractions of the next interval; the next
+			// tick scales them by the real elapsed time.
+			a.pending = dec.Slices(1)
+		}
 	}
 	d.ticks.Add(1)
 }
@@ -429,14 +625,21 @@ func (d *Daemon) status(a *app) AppStatus {
 	if g := goals.Performance; g != nil {
 		st.Goal = GoalView{MinRate: g.MinRate, MaxRate: g.MaxRate}
 	}
+	if a.part != nil {
+		st.Chip = d.chipView(a)
+	}
 	a.mu.Lock()
 	st.EnrolledAt = a.enrolledAt
 	st.Cores = AllocationView{
 		Units:   a.alloc.Units,
 		Demand:  a.alloc.Demand,
+		Share:   a.alloc.Share,
 		GoalFit: a.alloc.GoalMet,
 	}
 	st.DecisionErr = a.decisionErr
+	if a.part != nil {
+		st.Chip.ActuationErr = a.actErr
+	}
 	if a.hasDecision {
 		dec := a.decision
 		a.mu.Unlock()
@@ -473,13 +676,55 @@ func decisionView(dec core.Decision, space *actuator.Space) DecisionView {
 	}
 }
 
+// chipView renders one chip-backed app's hardware state for the wire.
+func (d *Daemon) chipView(a *app) *ChipView {
+	s := a.part.Sense()
+	cfg := a.part.Config()
+	vf := d.cfg.Chip.Params.VF[cfg.VF]
+	return &ChipView{
+		Cores:     cfg.Cores,
+		CacheKB:   cfg.CacheKB,
+		VF:        fmt.Sprintf("%.1fV/%.0fMHz", vf.Volts, vf.FHz/1e6),
+		TimeShare: a.part.Share(),
+		IPS:       s.IPS,
+		PowerW:    s.PowerW,
+		StallFrac: s.StallFrac,
+		HeartRate: s.HeartRate,
+		EnergyJ:   s.EnergyJ,
+	}
+}
+
+// ChipStatus reports the shared chip's ledger, or ok=false when the
+// daemon is not chip-backed.
+func (d *Daemon) ChipStatus() (ChipStatusResponse, bool) {
+	if d.chip == nil {
+		return ChipStatusResponse{}, false
+	}
+	parts, used := d.chip.Usage()
+	return ChipStatusResponse{
+		Tiles:           d.chip.Tiles(),
+		Partitions:      parts,
+		CoreEquivalents: used,
+		PowerW:          d.chip.TotalPowerW(),
+		PowerBudgetW:    d.cfg.Chip.PowerBudgetW,
+		UncoreW:         d.cfg.Chip.Params.UncoreW,
+	}, true
+}
+
 // Stats reports daemon-wide counters.
 func (d *Daemon) Stats() StatsResponse {
 	d.mu.RLock()
 	apps := len(d.apps)
+	chipApps := 0
+	for _, a := range d.apps {
+		if a.part != nil {
+			chipApps++
+		}
+	}
 	d.mu.RUnlock()
 	return StatsResponse{
 		Apps:          apps,
+		ChipApps:      chipApps,
 		Cores:         d.cfg.Cores,
 		Ticks:         d.ticks.Load(),
 		Beats:         d.beats.Load(),

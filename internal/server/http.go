@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 )
 
@@ -10,6 +11,7 @@ import (
 //
 //	GET    /healthz               liveness
 //	GET    /v1/stats              daemon counters
+//	GET    /v1/chip               shared-chip ledger (404 unless -chip)
 //	GET    /v1/apps               all application statuses
 //	POST   /v1/apps               enroll (EnrollRequest)
 //	GET    /v1/apps/{name}        one application's status + decision
@@ -23,6 +25,14 @@ func (d *Daemon) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.Stats())
+	})
+	mux.HandleFunc("GET /v1/chip", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := d.ChipStatus()
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("server: chip mode not enabled"))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
 	})
 	mux.HandleFunc("GET /v1/apps", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.List())
@@ -64,11 +74,22 @@ func (d *Daemon) Handler() http.Handler {
 		if !readJSON(w, r, &req) {
 			return
 		}
-		if req.Count == 0 {
-			req.Count = 1
-		}
 		name := r.PathValue("name")
-		if err := d.Beat(name, req.Count, req.Distortion); err != nil {
+		var err error
+		if len(req.Timestamps) > 0 {
+			if req.Count != 0 && req.Count != len(req.Timestamps) {
+				writeError(w, http.StatusBadRequest,
+					fmt.Errorf("server: count %d disagrees with %d timestamps", req.Count, len(req.Timestamps)))
+				return
+			}
+			err = d.BeatTimestamps(name, req.Timestamps, req.Distortion)
+		} else {
+			if req.Count == 0 {
+				req.Count = 1
+			}
+			err = d.Beat(name, req.Count, req.Distortion)
+		}
+		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
 		}

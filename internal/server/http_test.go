@@ -163,3 +163,60 @@ func TestHTTPPoolExhaustion(t *testing.T) {
 	doJSON(t, "POST", ts.URL+"/v1/apps",
 		EnrollRequest{Name: "a2", MinRate: 10}, http.StatusTooManyRequests, nil)
 }
+
+// Chip endpoints over the wire: /v1/chip ledger, per-app chip views,
+// and 404 on an advisory daemon.
+func TestHTTPChip(t *testing.T) {
+	d, err := NewDaemon(Config{Cores: 16, Accel: 0.5, Period: time.Hour, Chip: &ChipConfig{Tiles: 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.Handler())
+	t.Cleanup(ts.Close)
+
+	lo, hi := chipGoal(t, "barnes", 4, 0.5)
+	var st AppStatus
+	doJSON(t, "POST", ts.URL+"/v1/apps", EnrollRequest{Name: "a", MinRate: lo, MaxRate: hi}, http.StatusCreated, &st)
+	if st.Chip == nil {
+		t.Fatal("no chip view in the enroll response")
+	}
+	for i := 0; i < 5; i++ {
+		d.Tick()
+	}
+	var chip ChipStatusResponse
+	doJSON(t, "GET", ts.URL+"/v1/chip", nil, http.StatusOK, &chip)
+	if chip.Tiles != 16 || chip.Partitions != 1 || chip.CoreEquivalents < 1 {
+		t.Fatalf("chip status %+v", chip)
+	}
+	doJSON(t, "GET", ts.URL+"/v1/apps/a", nil, http.StatusOK, &st)
+	if st.Chip == nil || st.Chip.IPS <= 0 {
+		t.Fatalf("chip view %+v", st.Chip)
+	}
+	var stats StatsResponse
+	doJSON(t, "GET", ts.URL+"/v1/stats", nil, http.StatusOK, &stats)
+	if stats.ChipApps != 1 {
+		t.Fatalf("stats %+v, want 1 chip app", stats)
+	}
+
+	_, plain := testServer(t)
+	doJSON(t, "GET", plain.URL+"/v1/chip", nil, http.StatusNotFound, nil)
+}
+
+// Per-beat timestamps over the wire, including the count/timestamps
+// consistency check.
+func TestHTTPBeatTimestamps(t *testing.T) {
+	d, ts := testServer(t)
+	var st AppStatus
+	doJSON(t, "POST", ts.URL+"/v1/apps", EnrollRequest{Name: "a", Window: 4, MinRate: 1}, http.StatusCreated, &st)
+	d.Tick()
+	doJSON(t, "POST", ts.URL+"/v1/apps/a/beats",
+		BeatRequest{Timestamps: []float64{0, 0.25, 0.5, 0.75}}, http.StatusAccepted, nil)
+	doJSON(t, "GET", ts.URL+"/v1/apps/a", nil, http.StatusOK, &st)
+	if got := st.Observation.WindowRate; got < 3.99 || got > 4.01 {
+		t.Fatalf("window rate %g, want 4", got)
+	}
+	doJSON(t, "POST", ts.URL+"/v1/apps/a/beats",
+		BeatRequest{Count: 3, Timestamps: []float64{1, 2}}, http.StatusBadRequest, nil)
+	doJSON(t, "POST", ts.URL+"/v1/apps/a/beats",
+		BeatRequest{Timestamps: []float64{2, 1}}, http.StatusBadRequest, nil)
+}
