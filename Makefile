@@ -6,10 +6,16 @@
 #   make test    tier-1 verification (build + vet + docs + full test suite with -race)
 #   make bench   run all benchmarks with allocation stats into bench.out
 #   make bench-json  bench + record the BENCH_<date>.json trajectory file
+#   make bench-compare  bench + fail on >20% regression of gated
+#                       benchmarks vs OLD_BENCH (default: the latest
+#                       BENCH_*.json snapshot)
 
 GO ?= go
+# Default baseline: the latest *committed* snapshot, so bench-json
+# followed by bench-compare never compares a run against itself.
+OLD_BENCH ?= $(lastword $(sort $(shell git ls-files 'BENCH_*.json')))
 
-.PHONY: build test bench bench-json vet docs clean
+.PHONY: build test bench bench-json bench-compare vet docs clean
 
 build:
 	$(GO) build ./...
@@ -36,5 +42,15 @@ bench:
 bench-json: bench
 	$(GO) run ./cmd/benchjson bench.out
 
+# The baseline is read from HEAD, not the working tree, so a bench-json
+# run that rewrote today's snapshot cannot be compared against itself;
+# an explicitly supplied OLD_BENCH that is not committed falls back to
+# the file on disk.
+bench-compare: bench
+	$(if $(OLD_BENCH),,$(error bench-compare: no BENCH_*.json baseline; set OLD_BENCH=<snapshot>))
+	@(git show HEAD:$(OLD_BENCH) 2>/dev/null || cat $(OLD_BENCH)) > .bench-baseline.json; \
+	$(GO) run ./cmd/benchjson -compare .bench-baseline.json bench.out; st=$$?; \
+	rm -f .bench-baseline.json; exit $$st
+
 clean:
-	rm -f bench.out
+	rm -f bench.out .bench-baseline.json

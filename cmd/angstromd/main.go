@@ -10,9 +10,12 @@
 // partition of one shared Angstrom chip model: the decision engine
 // actuates real hardware knobs (core allocation, L2 capacity, DVFS) and
 // the partition emits the application's heartbeats as its modeled
-// execution progresses.
+// execution progresses. Partitions contend for the chip's off-chip
+// bandwidth and mesh (-chip-mem-bw, -chip-noc-bw); the contention model
+// degrades every partition's effective throughput when the fleet
+// saturates either resource.
 //
-//	angstromd -chip -chip-tiles 256 -oversubscribe -chip-power 40
+//	angstromd -chip -chip-tiles 256 -oversubscribe -chip-power 40 -chip-mem-bw 200
 //
 // Endpoints (see docs/API.md and internal/server):
 //
@@ -53,6 +56,8 @@ func main() {
 	chipTiles := flag.Int("chip-tiles", 0, "physical tiles of the shared chip (0 = core pool size)")
 	chipCache := flag.Int("chip-cache", 0, "largest per-core L2 option in KB (0 = 32/64/128 ladder)")
 	chipPower := flag.Float64("chip-power", 0, "chip-wide power budget in watts (0 = unlimited)")
+	chipMemBW := flag.Float64("chip-mem-bw", 0, "off-chip memory bandwidth in GB/s shared by all partitions (0 = model default)")
+	chipNoCBW := flag.Float64("chip-noc-bw", 0, "mesh link bandwidth in flits/cycle for the contention model (0 = model default)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -63,7 +68,12 @@ func main() {
 		Oversubscribe: *oversub,
 	}
 	if *chip {
-		cc := &server.ChipConfig{Tiles: *chipTiles, PowerBudgetW: *chipPower}
+		cc := &server.ChipConfig{
+			Tiles:           *chipTiles,
+			PowerBudgetW:    *chipPower,
+			MemBandwidthBps: *chipMemBW * 1e9,
+			NoCFlitBW:       *chipNoCBW,
+		}
 		if *chipCache > 0 {
 			// A three-rung ladder topping out at the requested size.
 			for kb := *chipCache; kb >= 1 && len(cc.CacheOptionsKB) < 3; kb /= 2 {

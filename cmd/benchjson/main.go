@@ -7,8 +7,16 @@
 //
 //	go test -run '^$' -bench . -benchmem . | go run ./cmd/benchjson
 //	go run ./cmd/benchjson -o BENCH_2026-07-28.json bench.out
+//	go run ./cmd/benchjson -compare BENCH_2026-07-28.json bench.out
 //
 // With no -o flag the output lands in BENCH_<today>.json.
+//
+// With -compare the new results are checked against an old snapshot
+// instead of being written: every gated benchmark (-gates regexp)
+// present in both runs must stay within -threshold (default 20%) of its
+// old ns/op, and a gate that was allocation-free must stay so. Any
+// regression prints a report and exits nonzero — `make bench-compare`
+// wires this as the performance gate.
 package main
 
 import (
@@ -92,10 +100,81 @@ func parse(r io.Reader) (Snapshot, error) {
 	return snap, nil
 }
 
+// defaultGates names the performance-gated benchmarks: the serving and
+// simulator hot paths whose trajectories PRs must not regress (see
+// BENCHMARKS.md). Subbenchmark names include the parent, e.g.
+// DetailedAccess/directory.
+const defaultGates = `^(PartitionSense$|DetailedAccess/|DaemonBeat$|DaemonChipTick|MonitorBeatWindow4096$|ChipEvaluate$)`
+
+// regression is one gated benchmark that got worse.
+type regression struct {
+	name   string
+	reason string
+}
+
+// compareSnapshots checks the new results against the old snapshot:
+// gated benchmarks present in both must stay within threshold of their
+// old ns/op, and gates that were allocation-free must stay so. Gates
+// only present on one side are reported but not failed (benchmarks come
+// and go across PRs).
+func compareSnapshots(old, new Snapshot, gates *regexp.Regexp, threshold float64) []regression {
+	oldBy := make(map[string]Result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	newBy := make(map[string]bool, len(new.Benchmarks))
+	for _, r := range new.Benchmarks {
+		newBy[r.Name] = true
+	}
+	for _, r := range old.Benchmarks {
+		if gates.MatchString(r.Name) && !newBy[r.Name] {
+			fmt.Printf("  gate %-36s MISSING from the new run (was %.1f ns/op)\n", r.Name, r.NsPerOp)
+		}
+	}
+	// The allocation gate only means something when the baseline was
+	// recorded with -benchmem: a snapshot without it reports 0 allocs
+	// for everything, which is indistinguishable per-entry from a
+	// genuinely allocation-free benchmark.
+	oldHasMem := false
+	for _, r := range old.Benchmarks {
+		if r.BytesPerOp > 0 || r.AllocsPerOp > 0 {
+			oldHasMem = true
+			break
+		}
+	}
+	var regs []regression
+	for _, r := range new.Benchmarks {
+		if !gates.MatchString(r.Name) {
+			continue
+		}
+		prev, ok := oldBy[r.Name]
+		if !ok {
+			fmt.Printf("  new gate %-32s %12.1f ns/op (no baseline)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		delta := (r.NsPerOp - prev.NsPerOp) / prev.NsPerOp
+		status := "ok"
+		if delta > threshold {
+			status = "REGRESSION"
+			regs = append(regs, regression{r.Name, fmt.Sprintf("ns/op %+.1f%% (%.1f -> %.1f, threshold %+.0f%%)",
+				delta*100, prev.NsPerOp, r.NsPerOp, threshold*100)})
+		}
+		if oldHasMem && prev.AllocsPerOp == 0 && r.AllocsPerOp > 0 {
+			status = "REGRESSION"
+			regs = append(regs, regression{r.Name, fmt.Sprintf("allocs/op 0 -> %d (allocation-free gate)", r.AllocsPerOp)})
+		}
+		fmt.Printf("  %-36s %12.1f -> %10.1f ns/op  %+6.1f%%  %s\n", r.Name, prev.NsPerOp, r.NsPerOp, delta*100, status)
+	}
+	return regs
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
+	compare := flag.String("compare", "", "old snapshot to compare against instead of writing; exit nonzero on gated regression")
+	gates := flag.String("gates", defaultGates, "regexp of benchmark names gated by -compare")
+	threshold := flag.Float64("threshold", 0.20, "relative ns/op regression tolerated by -compare")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -111,6 +190,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *compare != "" {
+		gatesRe, err := regexp.Compile(*gates)
+		if err != nil {
+			log.Fatalf("bad -gates: %v", err)
+		}
+		data, err := os.ReadFile(*compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var old Snapshot
+		if err := json.Unmarshal(data, &old); err != nil {
+			log.Fatalf("parse %s: %v", *compare, err)
+		}
+		fmt.Printf("comparing against %s (%s):\n", *compare, old.Date)
+		regs := compareSnapshots(old, snap, gatesRe, *threshold)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				log.Printf("REGRESSION %s: %s", r.name, r.reason)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("all gated benchmarks within threshold")
+		return
+	}
+
 	path := *out
 	if path == "" {
 		path = "BENCH_" + snap.Date + ".json"

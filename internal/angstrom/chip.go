@@ -68,6 +68,11 @@ type Params struct {
 	MemEnergyPJ  float64
 	// MemBandwidthBps is aggregate off-chip bandwidth.
 	MemBandwidthBps float64
+	// NoCFlitBW is the per-link mesh bandwidth in flits/cycle (the
+	// noc.Config.LinkBandwidth of the chip-wide mesh); the contention
+	// model derives total flit-hop capacity from it. Non-positive means
+	// the default of 1.
+	NoCFlitBW float64
 	// UncoreW is constant chip overhead (clock spine, IO); it is also
 	// the idle power subtracted by the perf/Watt metric.
 	UncoreW float64
@@ -88,6 +93,7 @@ func DefaultParams() Params {
 		MemLatencyNs:    60,
 		MemEnergyPJ:     20000,
 		MemBandwidthBps: 51.2e9,
+		NoCFlitBW:       1,
 		UncoreW:         0.35,
 	}
 }
@@ -121,6 +127,14 @@ type Metrics struct {
 	MissRate  float64 // protocol-level miss rate per L2 access
 	NetCycles float64 // average one-way network latency, cycles
 	MemRho    float64 // off-chip bandwidth utilization
+
+	// Shared-resource demand terms, the inputs of the cross-partition
+	// contention model (contention.go): how hard this (workload,
+	// configuration) pair pushes on the chip-wide memory bus and mesh
+	// when it runs full-time at the model's IPS.
+	MemBytesPerSec  float64 // off-chip traffic demand
+	FlitHopsPerSec  float64 // NoC injection demand, flit-hops/s
+	OffChipPerMemOp float64 // off-chip accesses per memory operation
 
 	// Power breakdown (sums to PowerW). The closed local controllers of
 	// Figure 2 optimize against their own component only.
@@ -254,13 +268,13 @@ func (p Params) assemble(spec workload.Spec, cfg Config, b memBehavior) Metrics 
 	commStall := spec.FlitsPerKiloInstr / 1000 * p.netLatency(cfg) * 0.2
 
 	rho := 0.0
-	var cpi, ips float64
+	var cpi, ips, bw float64
 	for iter := 0; iter < 4; iter++ {
 		memCyc := memCycBase / math.Max(1-rho, 0.05)
 		cpi = 1 + spec.MemOpsPerInstr*(b.perMemOpStallCycles+b.offChipPerMemOp*memCyc) + commStall
 		coreIPS := f / cpi
 		ips = coreIPS * spec.ParallelSpeedup(cfg.Cores)
-		bw := ips * spec.MemOpsPerInstr * b.offChipPerMemOp * float64(workload.LineBytes)
+		bw = ips * spec.MemOpsPerInstr * b.offChipPerMemOp * float64(workload.LineBytes)
 		rho = math.Min(bw/p.MemBandwidthBps, 0.95)
 	}
 
@@ -301,17 +315,20 @@ func (p Params) assemble(spec workload.Spec, cfg Config, b memBehavior) Metrics 
 	power := coresW + cachesW + nocW + memW + p.UncoreW
 
 	return Metrics{
-		HeartRate: ips / spec.InstrPerBeat,
-		IPS:       ips,
-		PowerW:    power,
-		CPI:       cpi,
-		MissRate:  b.missRate,
-		NetCycles: p.netLatency(cfg),
-		MemRho:    rho,
-		CoresW:    coresW,
-		CacheW:    cachesW,
-		NoCW:      nocW,
-		MemW:      memW,
+		HeartRate:       ips / spec.InstrPerBeat,
+		IPS:             ips,
+		PowerW:          power,
+		CPI:             cpi,
+		MissRate:        b.missRate,
+		NetCycles:       p.netLatency(cfg),
+		MemRho:          rho,
+		MemBytesPerSec:  bw,
+		FlitHopsPerSec:  flitHopsPerSec,
+		OffChipPerMemOp: b.offChipPerMemOp,
+		CoresW:          coresW,
+		CacheW:          cachesW,
+		NoCW:            nocW,
+		MemW:            memW,
 	}
 }
 

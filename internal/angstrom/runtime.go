@@ -187,14 +187,11 @@ func (ch *Chip) updateTiles(m Metrics, dt float64) {
 	if perCorePower < 0 || math.IsNaN(perCorePower) {
 		perCorePower = 0
 	}
-	stallFrac := 1 - 1/m.CPI
-	if stallFrac < 0 || math.IsNaN(stallFrac) {
-		stallFrac = 0
-	}
+	stall := stallFrac(m.CPI)
 	spec := ch.inst.Spec
 	memOps := uint64(float64(perCoreInstr) * spec.MemOpsPerInstr)
 	misses := uint64(float64(memOps) * m.MissRate)
-	stalls := uint64(float64(perCoreCycles) * stallFrac)
+	stalls := uint64(float64(perCoreCycles) * stall)
 	for i, t := range ch.Tiles {
 		if i < ch.cfg.Cores {
 			t.Counters.Add(CtrInstructions, perCoreInstr)

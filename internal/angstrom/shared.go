@@ -28,11 +28,15 @@ import (
 // before Partition; Sense and Advance take only the partition lock, so
 // status reads and the daemon's tick never serialize behind enrollment.
 //
-// Partitions are modeled independently: each evaluates the chip model
-// for its own (workload, configuration) slice, with cross-application
-// interference captured by the explicit resource ledgers (the tile pool
-// here, time shares and power budgets in the serving layer) rather than
-// by microarchitectural contention between partitions.
+// Partitions evaluate the chip model independently for their own
+// (workload, configuration) slice; the explicit resource ledgers (the
+// tile pool here, time shares and power budgets in the serving layer)
+// arbitrate what each may hold. On top of that, contention.go models
+// the two resources no ledger partitions cleanly — off-chip memory
+// bandwidth and the chip-wide mesh: UpdateContention aggregates every
+// partition's traffic demand and degrades each one's effective IPS,
+// stall fraction, and per-access power when the chip saturates, so
+// co-location costs are visible to Sense and Advance.
 
 // SharedChip is one Angstrom chip whose tiles are partitioned among many
 // applications. The ledger is kept in fractional core-equivalents: a
@@ -40,12 +44,16 @@ import (
 // oversubscribed fleet (time-sharing units) still respects the physical
 // tile pool.
 type SharedChip struct {
-	p     Params
-	tiles int
+	p      Params
+	tiles  int
+	nocCap float64 // mesh flit-hop capacity (contention.go)
 
-	mu    sync.Mutex
-	used  float64 // sum over partitions of Cores × Share
-	parts map[string]*Partition
+	mu           sync.Mutex
+	used         float64 // sum over partitions of Cores × Share
+	parts        map[string]*Partition
+	contention   Contention    // last UpdateContention snapshot
+	scratch      []contendSlot // reused by UpdateContention
+	ledgerFaults uint64        // accounting violations caught by Release
 }
 
 // NewSharedChip builds a chip with the given tile count.
@@ -53,7 +61,9 @@ func NewSharedChip(p Params, tiles int) (*SharedChip, error) {
 	if tiles < 1 || tiles > p.MaxCores {
 		return nil, fmt.Errorf("angstrom: %d tiles outside [1, %d]", tiles, p.MaxCores)
 	}
-	return &SharedChip{p: p, tiles: tiles, parts: make(map[string]*Partition)}, nil
+	sc := &SharedChip{p: p, tiles: tiles, nocCap: nocCapacity(p, tiles), parts: make(map[string]*Partition)}
+	sc.contention = Contention{MemCapacityBps: p.MemBandwidthBps, NoCCapacity: sc.nocCap}
+	return sc, nil
 }
 
 // Params returns the chip constants.
@@ -90,13 +100,30 @@ func (sc *SharedChip) Acquire(name string, inst *workload.Instance, mon *heartbe
 			need, float64(sc.tiles)-sc.used, sc.tiles)
 	}
 	pt := &Partition{sc: sc, name: name, inst: inst, mon: mon, cfg: cfg, share: share, m: m, now: start}
+	pt.terms = newContendTerms(sc.p, inst.Spec.MemOpsPerInstr, inst.Spec.FlitsPerKiloInstr, cfg, m)
+	pt.intf = isolatedInterference(m)
+	pt.contendedPowerW = m.PowerW
 	sc.used += need
 	sc.parts[name] = pt
 	return pt, nil
 }
 
+// isolatedInterference is the identity degradation: the partition runs
+// exactly as its isolated model evaluation predicts, which is the state
+// before the first contention pass (and after a reconfiguration, until
+// the next pass re-prices the new demand).
+func isolatedInterference(m Metrics) Interference {
+	return Interference{Slowdown: 1, CPI: m.CPI, StallFrac: stallFrac(m.CPI), MemRho: m.MemRho}
+}
+
+// ledgerEps absorbs the float residue of repeated fractional-share
+// add/subtract cycles; a deficit beyond it is an accounting bug.
+const ledgerEps = 1e-6
+
 // Release returns a partition's tiles to the pool. Releasing an unknown
-// name is a no-op.
+// name is a no-op. A ledger that would go negative beyond float residue
+// means double-release or lost accounting — it is counted as a fault
+// (LedgerFaults) instead of being silently clamped away.
 func (sc *SharedChip) Release(name string) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
@@ -110,8 +137,21 @@ func (sc *SharedChip) Release(name string) {
 	pt.mu.Unlock()
 	delete(sc.parts, name)
 	if sc.used < 0 {
+		if sc.used < -ledgerEps {
+			sc.ledgerFaults++
+		}
 		sc.used = 0
 	}
+}
+
+// LedgerFaults counts accounting violations the tile ledger has caught
+// (a release that would drive usage negative). Always zero unless a
+// bookkeeping bug exists; tests and /v1/chip surface it so drift fails
+// loudly instead of being masked.
+func (sc *SharedChip) LedgerFaults() uint64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.ledgerFaults
 }
 
 // Usage reports the partition count and the core-equivalents in use.
@@ -163,6 +203,14 @@ type Partition struct {
 	now       sim.Time // partition-local execution frontier
 	energyJ   float64
 	released  bool
+
+	// Cross-partition contention state (contention.go): the demand
+	// terms recomputed at every reconfiguration, and the degradation
+	// the last chip-wide pass assigned. Reads are cached-float loads,
+	// so Sense stays allocation-free.
+	terms           contendTerms
+	intf            Interference
+	contendedPowerW float64 // m.PowerW minus throughput-scaled NoC/DRAM energy
 }
 
 // Name returns the owning application's name.
@@ -238,33 +286,53 @@ func (pt *Partition) setConfig(cfg Config) error {
 	sc.used += delta
 	pt.cfg = cfg
 	pt.m = m
+	// Re-derive the contention inputs, carrying the current slowdown
+	// onto the new evaluation (a reconfiguration does not relieve
+	// co-tenant pressure; the next chip-wide pass re-prices it exactly).
+	// Resetting to the identity here would let the schedule's per-tick
+	// knob flips erase the contention pass before Advance ever saw it.
+	pt.terms = newContendTerms(sc.p, pt.inst.Spec.MemOpsPerInstr, pt.inst.Spec.FlitsPerKiloInstr, cfg, m)
+	slow := pt.intf.Slowdown
+	if !(slow > 0 && slow <= 1) {
+		slow = 1
+	}
+	cpi := m.CPI / slow
+	pt.intf.Slowdown, pt.intf.CPI, pt.intf.StallFrac = slow, cpi, stallFrac(cpi)
+	pt.contendedPowerW = m.PowerW - (m.NoCW+m.MemW)*(1-slow)
 	return nil
 }
 
 // Sense implements actuator.Sensor: the partition's share-scaled view of
 // the chip model — aggregate IPS, attributed power (active power beyond
 // uncore, scaled by the time share), memory stall fraction, predicted
-// heart rate, and cumulative energy. It is a cached-struct read under
-// one mutex: allocation-free and cheap enough for every status request.
+// heart rate, and cumulative energy. Every figure is degraded by the
+// last contention pass's Interference, so the controller and the
+// manager observe real co-location costs, not per-app projections. It
+// is a cached-struct read under one mutex: allocation-free and cheap
+// enough for every status request.
 func (pt *Partition) Sense() actuator.Sample {
 	pt.mu.Lock()
 	defer pt.mu.Unlock()
-	stall := 1 - 1/pt.m.CPI
-	if stall < 0 || math.IsNaN(stall) {
-		stall = 0
-	}
-	active := pt.m.PowerW - pt.sc.p.UncoreW
+	active := pt.contendedPowerW - pt.sc.p.UncoreW
 	if active < 0 {
 		active = 0
 	}
 	return actuator.Sample{
 		Time:      pt.now,
-		IPS:       pt.m.IPS * pt.share,
+		IPS:       pt.m.IPS * pt.share * pt.intf.Slowdown,
 		PowerW:    active * pt.share,
-		StallFrac: stall,
-		HeartRate: pt.m.HeartRate * pt.share,
+		StallFrac: pt.intf.StallFrac,
+		HeartRate: pt.m.HeartRate * pt.share * pt.intf.Slowdown,
 		EnergyJ:   pt.energyJ,
 	}
+}
+
+// Interference returns the degradation the last contention pass
+// assigned to this partition (the identity before the first pass).
+func (pt *Partition) Interference() Interference {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return pt.intf
 }
 
 // Metrics returns the cached model evaluation for the current
@@ -286,7 +354,7 @@ func (pt *Partition) Advance(until sim.Time) error {
 	if pt.released {
 		return fmt.Errorf("angstrom: partition %q released", pt.name)
 	}
-	ips := pt.m.IPS * pt.share
+	ips := pt.m.IPS * pt.share * pt.intf.Slowdown
 	if ips <= 0 || math.IsNaN(ips) {
 		return fmt.Errorf("angstrom: partition %q effective IPS %g not positive", pt.name, ips)
 	}
@@ -316,10 +384,12 @@ func (pt *Partition) Advance(until sim.Time) error {
 	return nil
 }
 
-// attributedPowerW is the power charged to this partition; caller holds
+// attributedPowerW is the power charged to this partition, degraded by
+// the contention pass (stalled cycles still burn core and cache power;
+// NoC and DRAM energy scale with achieved throughput); caller holds
 // pt.mu.
 func (pt *Partition) attributedPowerW() float64 {
-	active := pt.m.PowerW - pt.sc.p.UncoreW
+	active := pt.contendedPowerW - pt.sc.p.UncoreW
 	if active < 0 {
 		active = 0
 	}

@@ -30,7 +30,8 @@ type Manager struct {
 	// resolved by time-sharing (fractional Allocation.Share).
 	oversub bool
 
-	apps []*managedApp
+	apps   []*managedApp
+	byName map[string]*managedApp
 }
 
 // managedApp is the per-application control state.
@@ -45,6 +46,10 @@ type managedApp struct {
 	haveBase  bool
 	allocated int
 	share     float64 // time share of the allocated units (1 = dedicated)
+	// interf is the platform-reported contention factor in (0, 1]: the
+	// fraction of the scaling curve's throughput the application
+	// actually achieves under current co-location (1 = uncontended).
+	interf float64
 
 	prevBeats uint64
 	prevTime  sim.Time
@@ -58,7 +63,7 @@ func NewManager(clock sim.Nower, total int) (*Manager, error) {
 	if total < 1 {
 		return nil, fmt.Errorf("core: no resource units to manage")
 	}
-	return &Manager{clock: clock, total: total}, nil
+	return &Manager{clock: clock, total: total, byName: make(map[string]*managedApp)}, nil
 }
 
 // SetOversubscription switches the manager between refusing enrollment
@@ -79,33 +84,55 @@ func (m *Manager) AddApp(name string, mon *heartbeat.Monitor, scaling func(int) 
 	if mon == nil || scaling == nil {
 		return fmt.Errorf("core: nil monitor or scaling for %q", name)
 	}
-	for _, a := range m.apps {
-		if a.name == name {
-			return fmt.Errorf("core: %q already managed", name)
-		}
+	if _, dup := m.byName[name]; dup {
+		return fmt.Errorf("core: %q already managed", name)
 	}
 	if !m.oversub && len(m.apps)+1 > m.total {
 		return fmt.Errorf("core: %d applications exceed %d resource units", len(m.apps)+1, m.total)
 	}
-	m.apps = append(m.apps, &managedApp{
+	a := &managedApp{
 		name: name, mon: mon, scaling: scaling,
 		allocated: 1,
 		share:     1,
+		interf:    1,
 		prevTime:  m.clock.Now(),
-	})
+	}
+	m.apps = append(m.apps, a)
+	m.byName[name] = a
 	return nil
+}
+
+// SetInterference reports the platform's measured contention factor for
+// one application: the multiplier (0, 1] by which shared-resource
+// contention (memory bandwidth, NoC) degrades its throughput below the
+// declared scaling curve. The manager divides it out of the observed
+// rate when estimating the base speed, and inflates the application's
+// unit demand so the water-filling pass provisions for *contended*
+// throughput rather than the per-app projection. Unknown names and
+// out-of-range factors are ignored.
+func (m *Manager) SetInterference(name string, factor float64) {
+	if factor <= 0 || factor > 1 {
+		return
+	}
+	if a, ok := m.byName[name]; ok {
+		a.interf = factor
+	}
 }
 
 // RemoveApp withdraws an application (e.g. at exit), freeing its share
 // for the next Step. It reports whether the application was managed.
 func (m *Manager) RemoveApp(name string) bool {
+	if _, ok := m.byName[name]; !ok {
+		return false
+	}
+	delete(m.byName, name)
 	for i, a := range m.apps {
 		if a.name == name {
 			m.apps = append(m.apps[:i], m.apps[i+1:]...)
-			return true
+			break
 		}
 	}
-	return false
+	return true
 }
 
 // Apps reports how many applications are currently managed.
@@ -148,7 +175,7 @@ func (m *Manager) Step() ([]Allocation, error) {
 		a.prevTime = now
 
 		if rate > 0 {
-			base := rate / (a.scaling(a.allocated) * a.share)
+			base := rate / (a.scaling(a.allocated) * a.share * a.interf)
 			if !a.haveBase {
 				a.kfBase = base
 				a.haveBase = true
@@ -180,12 +207,15 @@ func (m *Manager) Step() ([]Allocation, error) {
 
 // demandUnits inverts the application's scaling curve: the smallest unit
 // count whose predicted rate meets the target (fractional via linear
-// interpolation between unit counts).
+// interpolation between unit counts). The contention factor divides the
+// target speed: under interference every granted unit delivers only
+// interf of its curve throughput, so meeting the same goal takes more
+// units.
 func (m *Manager) demandUnits(a *managedApp, target float64) float64 {
 	if !a.haveBase || a.kfBase <= 0 {
 		return 1
 	}
-	needSpeed := target / a.kfBase
+	needSpeed := target / (a.kfBase * a.interf)
 	prev := a.scaling(1)
 	if needSpeed <= prev {
 		return needSpeed / prev
@@ -291,10 +321,8 @@ func (m *Manager) partitionShared(demands []float64) {
 
 // Allocated reports an application's current share.
 func (m *Manager) Allocated(name string) (int, bool) {
-	for _, a := range m.apps {
-		if a.name == name {
-			return a.allocated, true
-		}
+	if a, ok := m.byName[name]; ok {
+		return a.allocated, true
 	}
 	return 0, false
 }

@@ -324,3 +324,44 @@ func TestManagerRecoversFromOversubscription(t *testing.T) {
 		}
 	}
 }
+
+// Contention reported through SetInterference inflates demand: the same
+// goal under a 0.5x contention factor needs twice the units, while the
+// base-speed estimate stays uncontended (the factor divides out of the
+// observed rate).
+func TestManagerInterferenceInflatesDemand(t *testing.T) {
+	h := newManagedHarness(t, 64, []float64{1}, []func(int) float64{linear})
+	h.mons[0].SetPerformanceGoal(9.5, 10.5)
+	for i := 0; i < 6; i++ {
+		h.run(20)
+		h.step(t)
+	}
+	clean := h.step(t)[0]
+	if math.Abs(clean.Demand-10) > 1.5 {
+		t.Fatalf("uncontended demand %g, want ~10", clean.Demand)
+	}
+
+	// Co-location halves delivered throughput: the platform reports the
+	// factor and the application's true rate drops to match.
+	h.mgr.SetInterference("a", 0.5)
+	h.bases[0] *= 0.5
+	for i := 0; i < 8; i++ {
+		h.run(20)
+		h.step(t)
+	}
+	contended := h.step(t)[0]
+	if math.Abs(contended.Demand-20) > 3 {
+		t.Fatalf("contended demand %g, want ~20 (2x at interference 0.5)", contended.Demand)
+	}
+	if contended.Units < 17 {
+		t.Fatalf("contended allocation %d units, want ~20", contended.Units)
+	}
+
+	// Out-of-range factors and unknown names are ignored.
+	h.mgr.SetInterference("a", 0)
+	h.mgr.SetInterference("a", 1.5)
+	h.mgr.SetInterference("nosuch", 0.5)
+	if f := h.mgr.apps[0].interf; f != 0.5 {
+		t.Fatalf("interference %g after invalid updates, want 0.5", f)
+	}
+}

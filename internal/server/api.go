@@ -104,6 +104,15 @@ type ChipView struct {
 	StallFrac float64 `json:"stall_frac"`
 	HeartRate float64 `json:"heart_rate"`
 	EnergyJ   float64 `json:"energy_j"`
+	// Slowdown is the cross-partition contention factor applied to this
+	// app's throughput (1 = uncontended; 0.8 = running at 80% of its
+	// isolated model because of co-tenant memory/NoC traffic). IPS,
+	// HeartRate, and StallFrac above already include it.
+	Slowdown float64 `json:"slowdown"`
+	// MemRho and NoCRho are the chip-wide memory-bandwidth and mesh
+	// utilizations this partition observed at the last contention pass.
+	MemRho float64 `json:"mem_rho"`
+	NoCRho float64 `json:"noc_rho"`
 	// ActuationErr is the last knob refusal, if any ("" when clean);
 	// transient during fleet rebalances.
 	ActuationErr string `json:"actuation_err,omitempty"`
@@ -157,6 +166,12 @@ type StatsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	PeriodSeconds float64 `json:"period_seconds"`
 	Accelerated   bool    `json:"accelerated"`
+	// PowerOvercommitW is the watts by which the sum of floored per-app
+	// power caps exceeds the chip budget: 0 when the budget is
+	// satisfiable, positive when even the cheapest configurations cannot
+	// fit under it (the caps are then floored and the overdraft is
+	// surfaced here instead of being silently hidden).
+	PowerOvercommitW float64 `json:"chip_power_overcommit_w,omitempty"`
 }
 
 // ChipStatusResponse is the shared chip's tile-ledger snapshot.
@@ -175,6 +190,16 @@ type ChipStatusResponse struct {
 	PowerBudgetW float64 `json:"power_budget_w,omitempty"`
 	// UncoreW is the constant chip overhead.
 	UncoreW float64 `json:"uncore_w"`
+	// MemBandwidthBps and MemDemandBps are the chip's off-chip bandwidth
+	// and the fleet's aggregate effective demand on it; MemRho and NoCRho
+	// are the resulting utilizations from the last contention pass.
+	MemBandwidthBps float64 `json:"mem_bandwidth_bps"`
+	MemDemandBps    float64 `json:"mem_demand_bps"`
+	MemRho          float64 `json:"mem_rho"`
+	NoCRho          float64 `json:"noc_rho"`
+	// LedgerFaults counts tile-ledger accounting violations the chip has
+	// caught; any nonzero value is a bug.
+	LedgerFaults uint64 `json:"ledger_faults,omitempty"`
 }
 
 // errorResponse is the uniform error body.

@@ -39,6 +39,13 @@ type ChipConfig struct {
 	// chip-backed applications and caps each decision engine's power
 	// multiplier accordingly.
 	PowerBudgetW float64
+	// MemBandwidthBps, when positive, overrides the chip model's
+	// aggregate off-chip bandwidth — the capacity the cross-partition
+	// contention ledger divides among co-located applications.
+	MemBandwidthBps float64
+	// NoCFlitBW, when positive, overrides the mesh's per-link bandwidth
+	// in flits/cycle (the NoC side of the contention ledger).
+	NoCFlitBW float64
 	// Params overrides the chip model constants (default DefaultParams).
 	Params *angstrom.Params
 	// KnobWrap, when non-nil, wraps each partition's raw hardware knobs
@@ -51,6 +58,16 @@ type ChipConfig struct {
 func (c *ChipConfig) fill(cores int) {
 	if c.Params == nil {
 		p := angstrom.DefaultParams()
+		c.Params = &p
+	}
+	if c.MemBandwidthBps > 0 || c.NoCFlitBW > 0 {
+		p := *c.Params // never mutate a caller-supplied Params
+		if c.MemBandwidthBps > 0 {
+			p.MemBandwidthBps = c.MemBandwidthBps
+		}
+		if c.NoCFlitBW > 0 {
+			p.NoCFlitBW = c.NoCFlitBW
+		}
 		c.Params = &p
 	}
 	if c.Tiles == 0 {
@@ -187,18 +204,41 @@ func (d *Daemon) makeRoom() (float64, error) {
 	if slot < minChipShare {
 		return 0, fmt.Errorf("server: %w (chip oversubscribed beyond %gx)", ErrPoolExhausted, 1/minChipShare)
 	}
-	if used > 0 {
-		scale := (tiles - slot) / used
-		if scale < 1 {
-			for _, other := range d.apps {
-				if other.part == nil {
-					continue
-				}
-				s := other.part.Share() * scale
-				if s < minChipShare {
-					s = minChipShare
-				}
-				_ = other.part.SetShare(s) // shrink: cannot overdraw the ledger
+	// Shrink the incumbents until the newcomer's slot fits. A single
+	// proportional scale is not enough: shares clamped up to
+	// minChipShare shrink less than their proportion, leaving
+	// Σ(cores × share) above tiles − slot — so the deficit is re-spread
+	// over the mass still above the floor until the invariant holds (or
+	// everyone is floored and the pool is genuinely full).
+	for iter := 0; iter < 2; iter++ {
+		_, used = d.chip.Usage()
+		excess := used - (tiles - slot)
+		if excess <= 1e-9 {
+			break
+		}
+		above := 0.0 // shrinkable core-equivalents: share mass beyond the floor
+		for _, other := range d.apps {
+			if other.part == nil {
+				continue
+			}
+			if s := other.part.Share(); s > minChipShare {
+				above += float64(other.part.Config().Cores) * (s - minChipShare)
+			}
+		}
+		if above <= 1e-12 {
+			break // every incumbent already at the floor
+		}
+		f := 1 - excess/above
+		if f < 0 {
+			f = 0
+		}
+		for _, other := range d.apps {
+			if other.part == nil {
+				continue
+			}
+			if s := other.part.Share(); s > minChipShare {
+				// shrink only: cannot overdraw the ledger
+				_ = other.part.SetShare(minChipShare + (s-minChipShare)*f)
 			}
 		}
 	}
@@ -311,6 +351,18 @@ func (d *Daemon) runChipInterval(a *app, now sim.Time) {
 	if err := a.part.Advance(now); err != nil && actErr == nil {
 		actErr = err
 	}
+	// Park the knobs at the schedule's duration-weighted configuration
+	// for the inter-tick gap. Without this, a wide bang-bang schedule
+	// (lo at the ladder bottom, hi at the top) deadlocks the stepped
+	// knobs: applying lo then hi steps one rung down then one rung up —
+	// net zero movement every tick — while the schedule's intent is the
+	// weighted middle. The settle apply always ratchets one rung toward
+	// that intent.
+	if len(a.settle) > 0 {
+		if err := a.rt.Apply(a.settle); err != nil && actErr == nil {
+			actErr = err
+		}
+	}
 	a.mu.Lock()
 	if actErr != nil {
 		a.actErr = actErr.Error()
@@ -318,6 +370,26 @@ func (d *Daemon) runChipInterval(a *app, now sim.Time) {
 		a.actErr = ""
 	}
 	a.mu.Unlock()
+}
+
+// settleConfig is the schedule's duration-weighted configuration: the
+// per-axis rounded mean of the low and high settings. It is where the
+// knobs should rest between intervals so repeated schedules make
+// monotone progress toward the schedule's intent (see runChipInterval).
+func settleConfig(dec core.Decision) actuator.Config {
+	if len(dec.LoCfg) == 0 || len(dec.HiCfg) != len(dec.LoCfg) {
+		return nil
+	}
+	out := make(actuator.Config, len(dec.LoCfg))
+	for i := range dec.LoCfg {
+		w := float64(dec.LoCfg[i])*(1-dec.HiFrac) + float64(dec.HiCfg[i])*dec.HiFrac
+		// Ceil, not round: parking below the weighted level caps the
+		// real mix at the lower rung pair and can pin a saturated
+		// controller just under its band; erring high leaves the
+		// continuous HiFrac room to trim the overshoot.
+		out[i] = int(math.Ceil(w - 1e-9))
+	}
+	return out
 }
 
 // rebalancePowerCaps apportions the chip power budget beyond uncore
@@ -328,14 +400,26 @@ func (d *Daemon) runChipInterval(a *app, now sim.Time) {
 // requirement frozen at enrollment would go stale as the correction
 // layer learns, so the split is re-derived every tick. SetPowerCap (a
 // translator rebuild) only runs when an app's cap actually moves.
-// Called from the tick goroutine, which owns every Runtime.
+//
+// Every cap is floored at the app's cheapest configuration (a cap below
+// it would leave the decision engine with an empty feasible set). A
+// floored app consumes more than its proportional slice, so the pass
+// iterates: floored apps are charged at their floor, and the remaining
+// budget is re-split across the rest until no new app floors. Only when
+// even the floors alone exceed the budget do the summed caps overrun
+// it; that overdraft is surfaced in /v1/stats as PowerOvercommitW
+// rather than silently exceeding the budget. Called from the tick
+// goroutine, which owns every Runtime.
 func (d *Daemon) rebalancePowerCaps(chipApps []*app) {
 	if d.cfg.Chip == nil || len(chipApps) == 0 || d.cfg.Chip.PowerBudgetW <= 0 {
+		// No caps to sum: clear any overcommit left by a previous fleet
+		// so stats never report an overdraft that no longer exists.
+		d.powerOvercommit.Store(0)
 		return
 	}
-	budget := d.cfg.Chip.PowerBudgetW
-	sum := 0.0
+	avail := d.cfg.Chip.PowerBudgetW - d.cfg.Chip.Params.UncoreW
 	needX := make([]float64, len(chipApps))
+	floored := make([]bool, len(chipApps))
 	for i, a := range chipApps {
 		needX[i] = 1
 		goals := a.mon.Goals()
@@ -348,17 +432,43 @@ func (d *Daemon) rebalancePowerCaps(chipApps []*app) {
 				needX[i] = a.rt.RequiredPowerX(g.Target() / base)
 			}
 		}
-		sum += needX[i] * a.nomActiveW
 	}
+	// Water-fill with floors: each round splits the budget left after
+	// charging floored apps across the unfloored, flooring any app whose
+	// slice falls below its cheapest configuration. Each round floors at
+	// least one more app, so len(chipApps) rounds suffice.
 	scale := 0.0
-	if sum > 0 {
-		scale = math.Max((budget-d.cfg.Chip.Params.UncoreW)/sum, 0)
+	for round := 0; round <= len(chipApps); round++ {
+		rem, sum := avail, 0.0
+		for i, a := range chipApps {
+			if floored[i] {
+				rem -= a.minPowerX * a.nomActiveW
+			} else {
+				sum += needX[i] * a.nomActiveW
+			}
+		}
+		if sum <= 0 {
+			break // everyone floored
+		}
+		scale = math.Max(rem/sum, 0)
+		changed := false
+		for i, a := range chipApps {
+			if !floored[i] && needX[i]*scale < a.minPowerX {
+				floored[i] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
 	}
+	capped := 0.0
 	for i, a := range chipApps {
 		capX := needX[i] * scale
-		if capX < a.minPowerX {
-			capX = a.minPowerX // budget unsatisfiable; floor at the cheapest config
+		if floored[i] || capX < a.minPowerX {
+			capX = a.minPowerX
 		}
+		capped += capX * a.nomActiveW
 		if a.lastCapX > 0 && math.Abs(capX-a.lastCapX) < 0.01*a.lastCapX {
 			continue
 		}
@@ -366,4 +476,9 @@ func (d *Daemon) rebalancePowerCaps(chipApps []*app) {
 			a.lastCapX = capX
 		}
 	}
+	over := capped - avail
+	if over < 1e-6 {
+		over = 0 // float residue of an exactly-filled budget
+	}
+	d.powerOvercommit.Store(math.Float64bits(over))
 }

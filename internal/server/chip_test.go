@@ -386,3 +386,176 @@ func TestChipPowerBudget(t *testing.T) {
 		t.Fatal("scarce budget changed nothing")
 	}
 }
+
+// Cross-partition contention through the full serving stack: two
+// bandwidth-heavy apps on a scarce-memory chip each sense lower IPS
+// than the same app running alone, the manager provisions more units
+// for the contended fleet, and both still converge into their goal
+// bands (the RLS layer absorbs the model divergence).
+func TestChipContentionCoLocation(t *testing.T) {
+	newD := func() *Daemon {
+		d, err := NewDaemon(Config{
+			Cores: 256, Accel: 0.5, Period: time.Hour,
+			Chip: &ChipConfig{Tiles: 256, MemBandwidthBps: 24e9},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	lo, hi := chipGoal(t, "ocean", 16, 0.6)
+	enroll := func(d *Daemon, name string) {
+		t.Helper()
+		if err := d.Enroll(EnrollRequest{Name: name, Workload: "ocean", Window: 2048, MinRate: lo, MaxRate: hi}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	solo := newD()
+	enroll(solo, "a")
+	for i := 0; i < 150; i++ {
+		solo.Tick()
+	}
+	stSolo, err := solo.Status("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stSolo.GoalMet {
+		t.Fatalf("solo app missed its band: rate %g vs [%g, %g] chip %+v",
+			stSolo.Observation.WindowRate, lo, hi, stSolo.Chip)
+	}
+	if stSolo.Chip.Slowdown < 0.99 {
+		t.Fatalf("solo slowdown %g, want ~1 (no co-tenant)", stSolo.Chip.Slowdown)
+	}
+	soloChip, _ := solo.ChipStatus()
+
+	// Co-located, the fleet breathes around the band (the contention
+	// couples the two control loops), so assert over a window rather
+	// than at one instant: both apps jointly in band most of the time,
+	// clearly degraded throughput, and clearly higher chip pressure.
+	duo := newD()
+	enroll(duo, "a")
+	enroll(duo, "b")
+	for i := 0; i < 300; i++ {
+		duo.Tick()
+	}
+	inBand := 0
+	var slowSum, rhoSum float64
+	const tail = 100
+	for i := 0; i < tail; i++ {
+		duo.Tick()
+		stA, _ := duo.Status("a")
+		stB, _ := duo.Status("b")
+		if stA.GoalMet && stB.GoalMet {
+			inBand++
+		}
+		slowSum += (stA.Chip.Slowdown + stB.Chip.Slowdown) / 2 / tail
+		cs, _ := duo.ChipStatus()
+		rhoSum += cs.MemRho / tail
+	}
+	if inBand < tail*6/10 {
+		t.Fatalf("co-located apps jointly in band only %d/%d ticks", inBand, tail)
+	}
+	if slowSum > 0.92 {
+		t.Fatalf("mean co-located slowdown %g, want clear degradation below solo %g", slowSum, stSolo.Chip.Slowdown)
+	}
+	if rhoSum < soloChip.MemRho+0.08 {
+		t.Fatalf("mean co-located mem rho %g not clearly above solo %g", rhoSum, soloChip.MemRho)
+	}
+}
+
+// makeRoom regression at deep oversubscription: when most incumbents
+// sit at the minimum share, a single proportional scale under-shrinks
+// (the floored shares cannot give their proportion) and the old code
+// spuriously refused the newcomer. The rescale loop must carve the full
+// slot out of the above-floor mass.
+func TestMakeRoomDeepOversubscription(t *testing.T) {
+	const tiles = 1
+	const incumbents = 51
+	d, err := NewDaemon(Config{
+		Cores: tiles, Accel: 0.5, Period: time.Hour, Oversubscribe: true,
+		Chip: &ChipConfig{Tiles: tiles},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < incumbents; i++ {
+		if err := d.Enroll(EnrollRequest{Name: fmt.Sprintf("inc-%02d", i), Workload: "water", MinRate: 1}); err != nil {
+			t.Fatalf("enroll incumbent %d: %v", i, err)
+		}
+	}
+	// Skew the fleet: 50 partitions pinned at the minimum share, one
+	// holding nearly everything else (shrinks first so the grow fits).
+	for i := 1; i < incumbents; i++ {
+		if err := d.apps[fmt.Sprintf("inc-%02d", i)].part.SetShare(minChipShare); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.apps["inc-00"].part.SetShare(0.49); err != nil {
+		t.Fatal(err)
+	}
+	if _, used := usage(d); used < 0.98 {
+		t.Fatalf("setup used %g, want ~0.99", used)
+	}
+
+	if err := d.Enroll(EnrollRequest{Name: "newcomer", Workload: "water", MinRate: 1}); err != nil {
+		t.Fatalf("newcomer refused at deep oversubscription: %v", err)
+	}
+	_, used := usage(d)
+	if used > tiles+1e-9 {
+		t.Fatalf("ledger overcommitted: %g > %d", used, tiles)
+	}
+	slot := float64(tiles) / float64(incumbents+1)
+	if got := d.apps["newcomer"].part.Share(); got < slot*0.9 {
+		t.Fatalf("newcomer share %g, want ~fair slot %g", got, slot)
+	}
+	if f := d.chip.LedgerFaults(); f != 0 {
+		t.Fatalf("%d ledger faults", f)
+	}
+}
+
+// An unsatisfiable power budget floors every cap at the cheapest
+// configuration and surfaces the overdraft in stats instead of
+// pretending the budget holds; a generous budget reports zero
+// overcommit and keeps the summed caps inside it.
+func TestPowerCapOvercommitSurfaced(t *testing.T) {
+	run := func(budgetW float64) (*Daemon, StatsResponse) {
+		d, err := NewDaemon(Config{
+			Cores: 64, Accel: 0.5, Period: time.Hour,
+			Chip: &ChipConfig{Tiles: 64, PowerBudgetW: budgetW},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, wl := range []string{"barnes", "ocean", "water", "volrend"} {
+			lo, hi := chipGoal(t, wl, 4, 0.5)
+			if err := d.Enroll(EnrollRequest{Name: fmt.Sprintf("%s-%d", wl, i), Workload: wl, Window: 2048, MinRate: lo, MaxRate: hi}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 60; i++ {
+			d.Tick()
+		}
+		return d, d.Stats()
+	}
+
+	d, stats := run(20)
+	if stats.PowerOvercommitW != 0 {
+		t.Fatalf("generous 20W budget reports %gW overcommit", stats.PowerOvercommitW)
+	}
+	avail := 20 - d.cfg.Chip.Params.UncoreW
+	sum := 0.0
+	d.mu.RLock()
+	for _, a := range d.apps {
+		sum += a.lastCapX * a.nomActiveW
+	}
+	d.mu.RUnlock()
+	if sum > avail*1.05 {
+		t.Fatalf("summed caps %gW exceed the available %gW", sum, avail)
+	}
+
+	_, starved := run(0.3)
+	if starved.PowerOvercommitW <= 0 {
+		t.Fatal("0.3W budget (below uncore + floors) reports no overcommit")
+	}
+}

@@ -19,6 +19,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -99,10 +100,13 @@ type app struct {
 	// Chip-backed state (nil/zero for advisory apps). part is the app's
 	// slice of the shared chip; units mirrors the manager's latest unit
 	// grant for the core-knob clamp; pending is the previous decision's
-	// schedule, executed by the next tick (tick goroutine only).
+	// schedule, executed by the next tick; settle is the schedule's
+	// duration-weighted configuration the knobs are parked at between
+	// intervals (tick goroutine only).
 	part       *angstrom.Partition
 	units      atomic.Int64
 	pending    []core.Slice
+	settle     actuator.Config
 	nomActiveW float64 // active watts at the nominal configuration
 	minPowerX  float64 // cheapest power multiplier in the action space
 	lastCapX   float64 // last applied power cap (tick goroutine only)
@@ -136,7 +140,12 @@ type Daemon struct {
 	ticks     atomic.Uint64
 	beats     atomic.Uint64
 	decisions atomic.Uint64
-	started   time.Time
+	// powerOvercommit is the float64 bits of the watts by which the sum
+	// of floored per-app power caps exceeds the chip budget (0 when the
+	// budget is satisfiable). Written by the tick goroutine, read by
+	// Stats.
+	powerOvercommit atomic.Uint64
+	started         time.Time
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -467,6 +476,13 @@ func (d *Daemon) Tick() {
 	}
 	now := d.clock.Now()
 
+	// Re-price cross-partition contention before executing the interval:
+	// this tick's Advance (and every Sense the controllers read) runs at
+	// the degradation implied by the fleet's current configurations.
+	if d.chip != nil {
+		d.chip.UpdateContention()
+	}
+
 	d.mu.RLock()
 	snapshot := make([]*app, 0, len(d.apps))
 	for _, a := range d.apps {
@@ -490,6 +506,11 @@ func (d *Daemon) Tick() {
 	}
 
 	d.mu.Lock()
+	// Feed each chip app's measured contention factor to the manager so
+	// water-filling provisions for contended throughput.
+	for _, a := range chipApps {
+		d.mgr.SetInterference(a.name, a.part.Interference().Slowdown)
+	}
 	var allocs []core.Allocation
 	if d.mgr.Apps() > 0 {
 		var err error
@@ -551,6 +572,7 @@ func (d *Daemon) Tick() {
 			// Slices(1) yields fractions of the next interval; the next
 			// tick scales them by the real elapsed time.
 			a.pending = dec.Slices(1)
+			a.settle = settleConfig(dec)
 		}
 	}
 	d.ticks.Add(1)
@@ -680,6 +702,7 @@ func decisionView(dec core.Decision, space *actuator.Space) DecisionView {
 func (d *Daemon) chipView(a *app) *ChipView {
 	s := a.part.Sense()
 	cfg := a.part.Config()
+	in := a.part.Interference()
 	vf := d.cfg.Chip.Params.VF[cfg.VF]
 	return &ChipView{
 		Cores:     cfg.Cores,
@@ -691,6 +714,9 @@ func (d *Daemon) chipView(a *app) *ChipView {
 		StallFrac: s.StallFrac,
 		HeartRate: s.HeartRate,
 		EnergyJ:   s.EnergyJ,
+		Slowdown:  in.Slowdown,
+		MemRho:    in.MemRho,
+		NoCRho:    in.NoCRho,
 	}
 }
 
@@ -701,6 +727,7 @@ func (d *Daemon) ChipStatus() (ChipStatusResponse, bool) {
 		return ChipStatusResponse{}, false
 	}
 	parts, used := d.chip.Usage()
+	c := d.chip.Contention()
 	return ChipStatusResponse{
 		Tiles:           d.chip.Tiles(),
 		Partitions:      parts,
@@ -708,6 +735,11 @@ func (d *Daemon) ChipStatus() (ChipStatusResponse, bool) {
 		PowerW:          d.chip.TotalPowerW(),
 		PowerBudgetW:    d.cfg.Chip.PowerBudgetW,
 		UncoreW:         d.cfg.Chip.Params.UncoreW,
+		MemBandwidthBps: c.MemCapacityBps,
+		MemDemandBps:    c.MemDemandBps,
+		MemRho:          c.MemRho,
+		NoCRho:          c.NoCRho,
+		LedgerFaults:    d.chip.LedgerFaults(),
 	}, true
 }
 
@@ -723,15 +755,16 @@ func (d *Daemon) Stats() StatsResponse {
 	}
 	d.mu.RUnlock()
 	return StatsResponse{
-		Apps:          apps,
-		ChipApps:      chipApps,
-		Cores:         d.cfg.Cores,
-		Ticks:         d.ticks.Load(),
-		Beats:         d.beats.Load(),
-		Decisions:     d.decisions.Load(),
-		ClockSeconds:  d.clock.Now(),
-		UptimeSeconds: time.Since(d.started).Seconds(),
-		PeriodSeconds: d.cfg.Period.Seconds(),
-		Accelerated:   d.simClock != nil,
+		Apps:             apps,
+		ChipApps:         chipApps,
+		Cores:            d.cfg.Cores,
+		Ticks:            d.ticks.Load(),
+		Beats:            d.beats.Load(),
+		Decisions:        d.decisions.Load(),
+		ClockSeconds:     d.clock.Now(),
+		UptimeSeconds:    time.Since(d.started).Seconds(),
+		PeriodSeconds:    d.cfg.Period.Seconds(),
+		Accelerated:      d.simClock != nil,
+		PowerOvercommitW: math.Float64frombits(d.powerOvercommit.Load()),
 	}
 }

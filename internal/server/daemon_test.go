@@ -273,9 +273,15 @@ func TestDaemonConcurrentServing(t *testing.T) {
 	if stats.Apps != workers-workers/4 {
 		t.Fatalf("apps = %d, want %d", stats.Apps, workers-workers/4)
 	}
-	// The loop must have ticked and produced decisions for live apps.
-	if stats.Ticks == 0 {
-		t.Fatal("ODA loop never ticked")
+	// The loop must tick alongside the serving surface. The worker storm
+	// can finish inside the very first 1ms period on a fast machine, so
+	// wait out a bounded grace window instead of asserting instantly.
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Stats().Ticks == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if ticks := d.Stats().Ticks; ticks == 0 {
+		t.Fatal("ODA loop never ticked within 5s")
 	}
 }
 
