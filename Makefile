@@ -33,8 +33,10 @@ docs:
 	fi; \
 	echo "package docs: all internal and cmd packages documented"
 
+# -shuffle=on randomizes test order within each package so inter-test
+# ordering dependencies fail loudly instead of lurking.
 test: build vet docs
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem . | tee bench.out

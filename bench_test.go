@@ -448,6 +448,82 @@ func BenchmarkDaemonTick1000(b *testing.B) {
 	}
 }
 
+// BenchmarkDaemonTick10k gates fleet-scale serving (the PR 5 sharding
+// work): one decision period over 10,000 enrolled applications on an
+// oversubscribed 4096-core pool. The pre-shard daemon (single mutex
+// directory, full O(n·cores) re-price and re-sort every tick) took
+// ~28.3ms here; the acceptance gate is ≥5x faster. The incremental
+// manager re-prices only apps whose demand inputs moved, the decide
+// phase skips quiescent apps, and the sharded directory keeps beat
+// ingestion off every lock the tick takes.
+func BenchmarkDaemonTick10k(b *testing.B) {
+	d, err := server.NewDaemon(server.Config{
+		Cores: 4096, Accel: 0.1, Period: time.Hour, Oversubscribe: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"barnes", "ocean", "raytrace", "water", "volrend"}
+	for i := 0; i < 10000; i++ {
+		err := d.Enroll(server.EnrollRequest{
+			Name:     fmt.Sprintf("app-%05d", i),
+			Workload: names[i%len(names)],
+			MinRate:  50,
+			MaxRate:  70,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		if err := d.Beat(fmt.Sprintf("app-%05d", i), 8, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d.Tick() // warm: first decisions for the whole fleet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Tick()
+	}
+}
+
+// BenchmarkDaemonTick10kActive is the companion worst case: every app
+// beats every period, so nothing is quiescent and every demand is
+// re-priced — the bound the incremental machinery cannot skip past.
+func BenchmarkDaemonTick10kActive(b *testing.B) {
+	d, err := server.NewDaemon(server.Config{
+		Cores: 4096, Accel: 0.1, Period: time.Hour, Oversubscribe: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"barnes", "ocean", "raytrace", "water", "volrend"}
+	for i := 0; i < 10000; i++ {
+		err := d.Enroll(server.EnrollRequest{
+			Name:     fmt.Sprintf("app-%05d", i),
+			Workload: names[i%len(names)],
+			MinRate:  50,
+			MaxRate:  70,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	d.Tick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 10000; j++ {
+			if err := d.Beat(fmt.Sprintf("app-%05d", j), 6, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		d.Tick()
+	}
+}
+
 // BenchmarkMonitorBeatWindow4096 gates the circular-buffer fix: the
 // per-beat cost must not scale with the window (the pre-PR-2 ring
 // shifted O(window) records per beat).

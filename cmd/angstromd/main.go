@@ -52,6 +52,8 @@ func main() {
 	accel := flag.Float64("accel", 0, "simulated seconds per tick (0 = serve in real time)")
 	window := flag.Int("window", 0, "default heartbeat window in beats (0 = library default)")
 	oversub := flag.Bool("oversubscribe", false, "admit fleets larger than the core pool (time-sharing)")
+	shards := flag.Int("shards", 0, "app-directory shard count, rounded to a power of two (0 = scaled from GOMAXPROCS)")
+	tickWorkers := flag.Int("tick-workers", 0, "tick worker-pool size for the per-shard phases (0 = GOMAXPROCS)")
 	chip := flag.Bool("chip", false, "bind enrolled apps to a shared Angstrom chip model (real knobs)")
 	chipTiles := flag.Int("chip-tiles", 0, "physical tiles of the shared chip (0 = core pool size)")
 	chipCache := flag.Int("chip-cache", 0, "largest per-core L2 option in KB (0 = 32/64/128 ladder)")
@@ -66,6 +68,8 @@ func main() {
 		Accel:         *accel,
 		Window:        *window,
 		Oversubscribe: *oversub,
+		Shards:        *shards,
+		TickWorkers:   *tickWorkers,
 	}
 	if *chip {
 		cc := &server.ChipConfig{
@@ -109,8 +113,8 @@ func main() {
 	if st, ok := d.ChipStatus(); ok {
 		log.Printf("angstromd: chip-backed (%d tiles, budget %gW)", st.Tiles, st.PowerBudgetW)
 	}
-	log.Printf("angstromd: serving on %s (cores=%d period=%s accel=%g oversubscribe=%v)",
-		*addr, *cores, *period, *accel, *oversub)
+	log.Printf("angstromd: serving on %s (cores=%d period=%s accel=%g oversubscribe=%v shards=%d)",
+		*addr, *cores, *period, *accel, *oversub, d.Stats().Shards)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}

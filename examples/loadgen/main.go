@@ -8,6 +8,12 @@
 // By default it spawns a daemon in-process on a loopback port; point
 // -addr at a running angstromd to load a real deployment.
 //
+// At fleet scale the daemon shards its app directory and re-prices
+// only what changed each tick, so one process sustains 10,000
+// concurrent streams:
+//
+//	go run ./examples/loadgen -apps 10000 -rate 5 -batch 25 -duration 30s
+//
 // Run: go run ./examples/loadgen -apps 1000 -duration 10s
 package main
 
@@ -39,11 +45,18 @@ func main() {
 	batch := flag.Int("batch", 10, "beats per POST")
 	cores := flag.Int("cores", 4096, "core pool of the spawned daemon")
 	period := flag.Duration("period", 100*time.Millisecond, "decision period of the spawned daemon")
+	oversub := flag.Bool("oversubscribe", true, "admit fleets larger than the core pool (time-sharing)")
+	shards := flag.Int("shards", 0, "directory shards of the spawned daemon (0 = auto)")
 	flag.Parse()
 
 	base := *addr
 	if base == "" {
-		d, err := server.NewDaemon(server.Config{Cores: *cores, Period: *period})
+		d, err := server.NewDaemon(server.Config{
+			Cores:         *cores,
+			Period:        *period,
+			Oversubscribe: *oversub,
+			Shards:        *shards,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -182,9 +195,16 @@ func main() {
 	fmt.Printf("latency    p50 %s  p99 %s  max %s\n", p50, p99, max)
 	fmt.Printf("oda loop   %d ticks, %d decisions (%.0f decisions/s)\n",
 		stats.Ticks, stats.Decisions, float64(stats.Decisions)/elapsed)
-	fmt.Printf("fleet      %d enrolled, %d with decisions, %d meeting their goal band\n",
-		stats.Apps, decided, met)
+	inBand := 0.0
+	if stats.Apps > 0 {
+		inBand = 100 * float64(met) / float64(stats.Apps)
+	}
+	fmt.Printf("fleet      %d enrolled (%d shards), %d with decisions, %d meeting their goal band (%.1f%%)\n",
+		stats.Apps, stats.Shards, decided, met, inBand)
 	if errs.Load() > 0 {
 		log.Printf("WARNING: %d request errors", errs.Load())
+	}
+	if inBand < 90 {
+		log.Printf("WARNING: only %.1f%% of the fleet converged in-band", inBand)
 	}
 }

@@ -183,7 +183,7 @@ func (sc *SharedChip) UpdateContention() {
 	defer sc.mu.Unlock()
 
 	slots := sc.scratch[:0]
-	for _, pt := range sc.parts {
+	for _, pt := range sc.order {
 		pt.mu.Lock()
 		slots = append(slots, contendSlot{
 			pt:    pt,

@@ -48,9 +48,13 @@ type SharedChip struct {
 	tiles  int
 	nocCap float64 // mesh flit-hop capacity (contention.go)
 
-	mu           sync.Mutex
-	used         float64 // sum over partitions of Cores × Share
-	parts        map[string]*Partition
+	mu    sync.Mutex
+	used  float64 // sum over partitions of Cores × Share
+	parts map[string]*Partition
+	// order lists partitions in acquisition order: deterministic float
+	// aggregation for the contention pass and power sums (map iteration
+	// order would vary run to run and perturb last-ulp results).
+	order        []*Partition
 	contention   Contention    // last UpdateContention snapshot
 	scratch      []contendSlot // reused by UpdateContention
 	ledgerFaults uint64        // accounting violations caught by Release
@@ -105,6 +109,7 @@ func (sc *SharedChip) Acquire(name string, inst *workload.Instance, mon *heartbe
 	pt.contendedPowerW = m.PowerW
 	sc.used += need
 	sc.parts[name] = pt
+	sc.order = append(sc.order, pt)
 	return pt, nil
 }
 
@@ -136,6 +141,12 @@ func (sc *SharedChip) Release(name string) {
 	pt.released = true
 	pt.mu.Unlock()
 	delete(sc.parts, name)
+	for i, o := range sc.order {
+		if o == pt {
+			sc.order = append(sc.order[:i], sc.order[i+1:]...)
+			break
+		}
+	}
 	if sc.used < 0 {
 		if sc.used < -ledgerEps {
 			sc.ledgerFaults++
@@ -167,7 +178,7 @@ func (sc *SharedChip) TotalPowerW() float64 {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	total := sc.p.UncoreW
-	for _, pt := range sc.parts {
+	for _, pt := range sc.order {
 		total += pt.Sense().PowerW
 	}
 	return total

@@ -23,20 +23,50 @@ import (
 // share that meets its goal under its measured scaling) and resolves
 // over-subscription by proportional scaling — the water-filling solution
 // for concave per-application utility.
+//
+// Step is incremental so the pass stays cheap at fleet scale (10k+
+// applications): per-application demands are cached and re-priced only
+// when their inputs (base-speed estimate, goal target, interference
+// factor) move, the demand inversion binary-searches the scaling curve's
+// verified monotone prefix instead of walking every unit, and the
+// water-fill ordering is patched in place when few demands changed —
+// falling back to a full deterministic sort past a threshold or after
+// any membership change. Every shortcut is byte-identical to the full
+// recompute (SetIncremental(false) forces the reference path; the
+// property tests drive both in lockstep).
 type Manager struct {
 	clock sim.Nower
 	total int // shared resource units (e.g. cores)
 	// oversub permits more applications than units; the surplus is
 	// resolved by time-sharing (fractional Allocation.Share).
 	oversub bool
+	// incremental enables demand caching, binary-search inversion, and
+	// in-place order patching; false forces the reference full recompute.
+	incremental bool
 
 	apps   []*managedApp
 	byName map[string]*managedApp
+	// freeIDs recycles the stable integer handles of removed apps so
+	// ID-indexed caller tables stay bounded by the peak fleet size.
+	freeIDs []int
+	nextID  int
+	// out is the Allocation buffer Step returns, reused across calls.
+	out []Allocation
+
+	// Running water-fill structure: apps indices sorted by
+	// (sortKey, index). orderValid goes false whenever membership changes
+	// (indices shift and the space-shared/oversubscribed mode may flip).
+	order      []int
+	orderValid bool
+	changed    []int  // scratch: indices whose sort key moved this Step
+	scratch    []int  // scratch: surviving order entries during a patch
+	inChanged  []bool // scratch: membership bitmap for the patch filter
 }
 
 // managedApp is the per-application control state.
 type managedApp struct {
 	name string
+	id   int // stable handle, recycled after removal
 	mon  *heartbeat.Monitor
 	// scaling maps resource units to relative speed (1 unit = 1.0);
 	// measured or declared by the platform (e.g. Amdahl curve).
@@ -53,6 +83,25 @@ type managedApp struct {
 
 	prevBeats uint64
 	prevTime  sim.Time
+
+	// Cached demand, valid while (kfBase, target, interf) are unchanged.
+	demand      float64
+	demandValid bool
+	lastBase    float64
+	lastTarget  float64
+	lastInterf  float64
+	// sortKey is the water-fill ordering key: the raw demand when the
+	// pool is space-shared, the clamped time-share want when
+	// oversubscribed (the walk consumes exactly this key, so an
+	// unchanged key means an unchanged partition for this app).
+	sortKey float64
+
+	// Scaling-curve shape, verified once at AddApp: peak is the last
+	// unit of the longest non-decreasing prefix; unimodal records that
+	// no later unit exceeds the prefix maximum, which makes a binary
+	// search over [2, peak] exactly equivalent to the linear scan.
+	peak     int
+	unimodal bool
 }
 
 // NewManager builds a coordinator over `total` resource units.
@@ -63,7 +112,7 @@ func NewManager(clock sim.Nower, total int) (*Manager, error) {
 	if total < 1 {
 		return nil, fmt.Errorf("core: no resource units to manage")
 	}
-	return &Manager{clock: clock, total: total, byName: make(map[string]*managedApp)}, nil
+	return &Manager{clock: clock, total: total, incremental: true, byName: make(map[string]*managedApp)}, nil
 }
 
 // SetOversubscription switches the manager between refusing enrollment
@@ -76,11 +125,60 @@ func (m *Manager) SetOversubscription(on bool) { m.oversub = on }
 // Oversubscribed reports whether time-sharing admission is enabled.
 func (m *Manager) Oversubscribed() bool { return m.oversub }
 
+// SetIncremental toggles the incremental Step machinery (on by
+// default). With it off every Step re-prices every demand with the
+// linear scaling-curve scan, fully re-sorts, and re-walks the
+// water-fill — the reference algorithm the incremental path must match
+// byte for byte. Tests drive both modes in lockstep to enforce that.
+func (m *Manager) SetIncremental(on bool) { m.incremental = on }
+
+// VerifyCurve inspects a scaling curve once: the longest non-decreasing
+// prefix [1, peak], and whether the tail beyond it ever exceeds the
+// prefix maximum. For unimodal curves (Amdahl plus a synchronization
+// penalty: rising to a peak, then declining) the answer is no, and the
+// demand inversion can binary-search the prefix; any other shape keeps
+// the exact linear scan. AddApp runs it per enrollment; callers
+// enrolling fleets over a handful of shared curves memoize the result
+// and enroll through AddAppWithShape instead.
+func VerifyCurve(scaling func(int) float64, total int) (peak int, unimodal bool) {
+	peak = 1
+	prev := scaling(1)
+	u := 2
+	for ; u <= total; u++ {
+		s := scaling(u)
+		if !(s >= prev) { // NaN or a decrease ends the prefix
+			break
+		}
+		prev = s
+		peak = u
+	}
+	for ; u <= total; u++ {
+		if !(scaling(u) <= prev) {
+			return peak, false
+		}
+	}
+	return peak, true
+}
+
 // AddApp enrolls an application: its monitor (with a declared
 // performance goal) and its resource-scaling curve. Every application
 // starts with one unit. Without oversubscription, enrollment beyond one
 // application per resource unit is refused.
 func (m *Manager) AddApp(name string, mon *heartbeat.Monitor, scaling func(int) float64) error {
+	if scaling == nil {
+		return fmt.Errorf("core: nil scaling for %q", name)
+	}
+	peak, unimodal := VerifyCurve(scaling, m.total)
+	return m.AddAppWithShape(name, mon, scaling, peak, unimodal)
+}
+
+// AddAppWithShape is AddApp for callers that already know the curve's
+// verified shape (peak of the non-decreasing prefix, unimodality) —
+// typically because many applications share one memoized curve and the
+// O(total) VerifyCurve scan only needs to run once per curve, not once
+// per enrollment. The shape must come from VerifyCurve over the same
+// curve and total; a wrong shape silently degrades demand inversion.
+func (m *Manager) AddAppWithShape(name string, mon *heartbeat.Monitor, scaling func(int) float64, peak int, unimodal bool) error {
 	if mon == nil || scaling == nil {
 		return fmt.Errorf("core: nil monitor or scaling for %q", name)
 	}
@@ -96,10 +194,31 @@ func (m *Manager) AddApp(name string, mon *heartbeat.Monitor, scaling func(int) 
 		share:     1,
 		interf:    1,
 		prevTime:  m.clock.Now(),
+		peak:      peak,
+		unimodal:  unimodal,
+	}
+	if k := len(m.freeIDs); k > 0 {
+		a.id = m.freeIDs[k-1]
+		m.freeIDs = m.freeIDs[:k-1]
+	} else {
+		a.id = m.nextID
+		m.nextID++
 	}
 	m.apps = append(m.apps, a)
 	m.byName[name] = a
+	m.orderValid = false
 	return nil
+}
+
+// AppID reports an application's stable integer handle: assigned at
+// AddApp, recycled after RemoveApp, and always below the peak
+// concurrent fleet size. Callers index per-app state by it to keep
+// their per-tick paths free of string hashing.
+func (m *Manager) AppID(name string) (int, bool) {
+	if a, ok := m.byName[name]; ok {
+		return a.id, true
+	}
+	return 0, false
 }
 
 // SetInterference reports the platform's measured contention factor for
@@ -128,10 +247,12 @@ func (m *Manager) RemoveApp(name string) bool {
 	delete(m.byName, name)
 	for i, a := range m.apps {
 		if a.name == name {
+			m.freeIDs = append(m.freeIDs, a.id)
 			m.apps = append(m.apps[:i], m.apps[i+1:]...)
 			break
 		}
 	}
+	m.orderValid = false
 	return true
 }
 
@@ -140,7 +261,10 @@ func (m *Manager) Apps() int { return len(m.apps) }
 
 // Allocation is one application's share after a decision.
 type Allocation struct {
-	App    string
+	App string
+	// ID is the app's stable integer handle (see AppID): hot paths
+	// index by it instead of hashing App.
+	ID     int
 	Units  int
 	Demand float64 // un-rounded units the goal asks for
 	// Share is the time share of the allocated units in (0, 1]: 1 means
@@ -153,25 +277,33 @@ type Allocation struct {
 
 // Step observes every application, computes demands, and returns the new
 // partition (allocations always sum to at most the total; every app
-// keeps at least one unit).
+// keeps at least one unit). Only applications whose demand inputs moved
+// since the previous Step are re-priced; when no water-fill key changed
+// the previous partition stands and the walk is skipped entirely. The
+// returned slice is valid until the next Step (the buffer is reused).
 func (m *Manager) Step() ([]Allocation, error) {
 	if len(m.apps) == 0 {
 		return nil, fmt.Errorf("core: no applications enrolled")
 	}
 	now := m.clock.Now()
-	demands := make([]float64, len(m.apps))
+	n := len(m.apps)
+	oversub := n > m.total
+	m.changed = m.changed[:0]
+	anyKeyChanged := false
 	for i, a := range m.apps {
-		goals := a.mon.Goals()
-		if goals.Performance == nil {
+		minRate, maxRate, ok := a.mon.PerformanceBand()
+		if !ok {
 			return nil, fmt.Errorf("core: %q has no performance goal", a.name)
 		}
-		obs := a.mon.Observe()
+		count := a.mon.Count()
 		// Interval-average rate since the last decision.
-		rate := obs.WindowRate
+		var rate float64
 		if now > a.prevTime {
-			rate = float64(obs.Beats-a.prevBeats) / (now - a.prevTime)
+			rate = float64(count-a.prevBeats) / (now - a.prevTime)
+		} else {
+			rate = a.mon.Observe().WindowRate
 		}
-		a.prevBeats = obs.Beats
+		a.prevBeats = count
 		a.prevTime = now
 
 		if rate > 0 {
@@ -184,22 +316,64 @@ func (m *Manager) Step() ([]Allocation, error) {
 				a.kfBase += 0.3 * (base - a.kfBase)
 			}
 		}
-		target := goals.Performance.Target()
-		demands[i] = m.demandUnits(a, target)
+		target := heartbeat.PerformanceGoal{MinRate: minRate, MaxRate: maxRate}.Target()
+		if !m.incremental || !a.demandValid ||
+			a.kfBase != a.lastBase || target != a.lastTarget || a.interf != a.lastInterf {
+			a.demand = m.demandUnits(a, target)
+			a.lastBase, a.lastTarget, a.lastInterf = a.kfBase, target, a.interf
+			a.demandValid = true
+		}
+		key := a.demand
+		if oversub {
+			// partitionShared consumes the clamped time-share want; using
+			// it as the ordering key means an unchanged key is exactly an
+			// unchanged walk input for this app.
+			key = clampShareWant(a.demand)
+		}
+		if key != a.sortKey || !m.orderValid {
+			a.sortKey = key
+			if m.orderValid {
+				m.changed = append(m.changed, i)
+			}
+			anyKeyChanged = true
+		}
 	}
-	if len(m.apps) > m.total {
-		m.partitionShared(demands)
-	} else {
-		m.partition(demands)
+
+	runWalk := true
+	switch {
+	case !m.incremental || !m.orderValid:
+		m.fullSort()
+	case !anyKeyChanged:
+		// Same membership, same keys, same pool: the previous partition
+		// is byte-identical to what a full recompute would produce.
+		runWalk = false
+	case len(m.changed)*8 > n:
+		m.fullSort()
+	default:
+		m.patchOrder()
 	}
-	out := make([]Allocation, len(m.apps))
+	if runWalk {
+		if oversub {
+			m.partitionShared()
+		} else {
+			m.partition()
+		}
+	}
+
+	// The returned slice is reused by the next Step: callers that keep
+	// allocations across decisions copy what they need.
+	if cap(m.out) < n {
+		m.out = make([]Allocation, n)
+	}
+	out := m.out[:n]
 	for i, a := range m.apps {
 		out[i] = Allocation{
 			App:     a.name,
+			ID:      a.id,
 			Units:   a.allocated,
-			Demand:  demands[i],
+			Demand:  a.demand,
 			Share:   a.share,
-			GoalMet: float64(a.allocated)*a.share >= demands[i],
+			GoalMet: float64(a.allocated)*a.share >= a.demand,
 		}
 	}
 	return out, nil
@@ -210,7 +384,9 @@ func (m *Manager) Step() ([]Allocation, error) {
 // interpolation between unit counts). The contention factor divides the
 // target speed: under interference every granted unit delivers only
 // interf of its curve throughput, so meeting the same goal takes more
-// units.
+// units. Curves verified unimodal at AddApp are binary-searched over
+// their monotone prefix — identical output to the linear scan, O(log
+// total) instead of O(total); any other shape takes the scan.
 func (m *Manager) demandUnits(a *managedApp, target float64) float64 {
 	if !a.haveBase || a.kfBase <= 0 {
 		return 1
@@ -219,6 +395,27 @@ func (m *Manager) demandUnits(a *managedApp, target float64) float64 {
 	prev := a.scaling(1)
 	if needSpeed <= prev {
 		return needSpeed / prev
+	}
+	if m.incremental && a.unimodal {
+		if a.peak < 2 || a.scaling(a.peak) < needSpeed {
+			// Nothing in the prefix reaches needSpeed, and the tail never
+			// exceeds the prefix maximum: the scan would come up empty.
+			return float64(m.total)
+		}
+		lo, hi := 2, a.peak
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if a.scaling(mid) >= needSpeed {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		s, p := a.scaling(lo), a.scaling(lo-1)
+		if s == p {
+			return float64(lo)
+		}
+		return float64(lo-1) + (needSpeed-p)/(s-p)
 	}
 	for u := 2; u <= m.total; u++ {
 		s := a.scaling(u)
@@ -234,28 +431,83 @@ func (m *Manager) demandUnits(a *managedApp, target float64) float64 {
 	return float64(m.total)
 }
 
+// keyLess is the water-fill ordering: ascending sort key, ties broken
+// by enrollment index — a strict total order, so every maintenance
+// strategy (full sort, patch-and-merge) yields the same sequence.
+func (m *Manager) keyLess(a, b int) bool {
+	if m.apps[a].sortKey != m.apps[b].sortKey {
+		return m.apps[a].sortKey < m.apps[b].sortKey
+	}
+	return a < b
+}
+
+// fullSort rebuilds the water-fill order from scratch.
+func (m *Manager) fullSort() {
+	n := len(m.apps)
+	if cap(m.order) < n {
+		m.order = make([]int, n)
+	}
+	m.order = m.order[:n]
+	for i := range m.order {
+		m.order[i] = i
+	}
+	sort.Slice(m.order, func(i, j int) bool { return m.keyLess(m.order[i], m.order[j]) })
+	m.orderValid = true
+}
+
+// patchOrder re-sorts in place after a small changed set: the surviving
+// entries keep their relative order (their keys did not move), the
+// changed entries are sorted among themselves and merged back in.
+// Because keyLess is a strict total order the result is the unique
+// sorted sequence — byte-identical to a full sort.
+func (m *Manager) patchOrder() {
+	n := len(m.apps)
+	if cap(m.inChanged) < n {
+		m.inChanged = make([]bool, n)
+	}
+	mark := m.inChanged[:n]
+	for _, idx := range m.changed {
+		mark[idx] = true
+	}
+	kept := m.scratch[:0]
+	for _, idx := range m.order {
+		if !mark[idx] {
+			kept = append(kept, idx)
+		}
+	}
+	m.scratch = kept
+	for _, idx := range m.changed {
+		mark[idx] = false
+	}
+	sort.Slice(m.changed, func(i, j int) bool { return m.keyLess(m.changed[i], m.changed[j]) })
+	m.order = m.order[:0]
+	i, j := 0, 0
+	for i < len(kept) && j < len(m.changed) {
+		if m.keyLess(kept[i], m.changed[j]) {
+			m.order = append(m.order, kept[i])
+			i++
+		} else {
+			m.order = append(m.order, m.changed[j])
+			j++
+		}
+	}
+	m.order = append(m.order, kept[i:]...)
+	m.order = append(m.order, m.changed[j:]...)
+}
+
 // partition assigns integral units by water-filling: applications are
 // served in ascending order of demand; each receives its full (rounded
 // up) demand when that fits its progressive fair share, otherwise the
 // fair share. Units nobody demands stay unallocated — powering cores an
 // application cannot use is exactly the waste SEEC exists to avoid.
 // Every application keeps at least one unit.
-func (m *Manager) partition(demands []float64) {
-	order := make([]int, len(m.apps))
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(i, j int) bool {
-		if demands[order[i]] != demands[order[j]] {
-			return demands[order[i]] < demands[order[j]]
-		}
-		return order[i] < order[j]
-	})
+func (m *Manager) partition() {
 	remaining := m.total
-	left := len(order)
-	for _, idx := range order {
+	left := len(m.order)
+	for _, idx := range m.order {
+		a := m.apps[idx]
 		fair := float64(remaining) / float64(left)
-		want := int(math.Ceil(demands[idx] - 1e-9))
+		want := int(math.Ceil(a.demand - 1e-9))
 		units := want
 		if float64(want) > fair {
 			units = int(math.Round(fair))
@@ -266,8 +518,8 @@ func (m *Manager) partition(demands []float64) {
 		if max := remaining - (left - 1); units > max {
 			units = max
 		}
-		m.apps[idx].allocated = units
-		m.apps[idx].share = 1
+		a.allocated = units
+		a.share = 1
 		remaining -= units
 		left--
 	}
@@ -278,42 +530,38 @@ func (m *Manager) partition(demands []float64) {
 // stays meaningful for the next demand estimate).
 const minTimeShare = 0.01
 
+// clampShareWant turns a unit demand into the time-share want of the
+// oversubscribed walk: demand above one core-equivalent is
+// unsatisfiable at Units=1 and is clamped, and every app floors at
+// minTimeShare.
+func clampShareWant(demand float64) float64 {
+	if demand < minTimeShare {
+		return minTimeShare
+	}
+	if demand > 1 {
+		return 1
+	}
+	return demand
+}
+
 // partitionShared is the oversubscribed counterpart of partition: with
 // more applications than units, nobody can hold a dedicated core, so
 // every application is pinned to one time-shared unit and the pool is
-// water-filled over *fractional* shares. Demand above one core-equivalent
-// is unsatisfiable at Units=1 and is clamped; the same progressive
-// fair-share walk as the integral case then yields sum(shares) <= total.
-func (m *Manager) partitionShared(demands []float64) {
-	order := make([]int, len(m.apps))
-	want := make([]float64, len(m.apps))
-	for i := range order {
-		order[i] = i
-		w := demands[i]
-		if w < minTimeShare {
-			w = minTimeShare
-		}
-		if w > 1 {
-			w = 1
-		}
-		want[i] = w
-	}
-	sort.Slice(order, func(i, j int) bool {
-		if want[order[i]] != want[order[j]] {
-			return want[order[i]] < want[order[j]]
-		}
-		return order[i] < order[j]
-	})
+// water-filled over *fractional* shares. The sort key already carries
+// the clamped want; the same progressive fair-share walk as the
+// integral case then yields sum(shares) <= total.
+func (m *Manager) partitionShared() {
 	remaining := float64(m.total)
-	left := len(order)
-	for _, idx := range order {
+	left := len(m.order)
+	for _, idx := range m.order {
+		a := m.apps[idx]
 		fair := remaining / float64(left)
-		s := want[idx]
+		s := a.sortKey
 		if s > fair {
 			s = fair
 		}
-		m.apps[idx].allocated = 1
-		m.apps[idx].share = s
+		a.allocated = 1
+		a.share = s
 		remaining -= s
 		left--
 	}

@@ -194,6 +194,18 @@ func New(app string, clock sim.Nower, mon *heartbeat.Monitor, space *actuator.Sp
 // App returns the controlled application's name.
 func (r *Runtime) App() string { return r.app }
 
+// MarkIdle advances the observation interval without deciding. A
+// serving loop that holds an application's standing decision through a
+// quiescent period (no new beats) calls this instead of Step each
+// skipped tick. Two artifacts are avoided: stepping would feed the
+// integral controller a zero rate (an artifact of the idle interval,
+// not of the application) and wind it up toward maximum speedup; and
+// NOT advancing the interval would dilute the first post-idle
+// measurement over the whole gap, corrupting the Kalman base estimate
+// on resume. With the interval resynced every skipped tick, the wake-up
+// Step measures exactly the period in which beats reappeared.
+func (r *Runtime) MarkIdle() { r.prevTime = r.clock.Now() }
+
 // candidates maps the materialized space through the model corrector.
 func (r *Runtime) candidates() []control.Candidate {
 	out := make([]control.Candidate, len(r.points))

@@ -124,6 +124,21 @@ func (m *Monitor) Goals() Goals {
 	return g
 }
 
+// PerformanceBand reports the declared heart-rate band without
+// allocating. Goals copies every declared goal into fresh pointers —
+// correct for observers that hold the result, but two allocations per
+// call; fleet-scale hot paths (the manager's per-tick observe loop runs
+// once per enrolled application) read just the performance band through
+// this accessor instead. ok is false when no performance goal is set.
+func (m *Monitor) PerformanceBand() (minRate, maxRate float64, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.goals.Performance == nil {
+		return 0, 0, false
+	}
+	return m.goals.Performance.MinRate, m.goals.Performance.MaxRate, true
+}
+
 // Status reports, for each declared goal, whether the current observation
 // satisfies it.
 type Status struct {

@@ -166,7 +166,9 @@ func (m *Monitor) at(i int) Record { return m.ring[(m.start+i)%m.window] }
 // m.count > 0.
 func (m *Monitor) last() Record { return m.at(m.size - 1) }
 
-// Count reports the total number of beats emitted so far.
+// Count reports the total number of beats emitted so far. Like
+// LastTime it is O(1) under the mutex, cheap enough for fleet-scale
+// observers to poll once per app per tick phase.
 func (m *Monitor) Count() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -156,9 +156,12 @@ func sortAppStatuses(s []AppStatus) {
 //
 //	GET /v1/stats
 type StatsResponse struct {
-	Apps          int     `json:"apps"`
-	ChipApps      int     `json:"chip_apps,omitempty"`
-	Cores         int     `json:"cores"`
+	Apps     int `json:"apps"`
+	ChipApps int `json:"chip_apps,omitempty"`
+	Cores    int `json:"cores"`
+	// Shards is the application-directory shard count (the tick fans
+	// its per-app phases across these).
+	Shards        int     `json:"shards,omitempty"`
 	Ticks         uint64  `json:"ticks"`
 	Beats         uint64  `json:"beats"`
 	Decisions     uint64  `json:"decisions"`

@@ -186,7 +186,8 @@ func (d *Daemon) bindChip(a *app, spec workload.Spec) error {
 // with. When the pool has a free core the newcomer gets a dedicated
 // one; otherwise (oversubscribed fleet) every existing partition is
 // shrunk proportionally toward the new fair share so the newcomer fits.
-// Called with d.mu held.
+// Called with d.mu held (which serializes it against the tick's share
+// pass); the incumbent scan walks the sharded directory.
 func (d *Daemon) makeRoom() (float64, error) {
 	tiles := float64(d.chip.Tiles())
 	parts, used := d.chip.Usage()
@@ -204,6 +205,7 @@ func (d *Daemon) makeRoom() (float64, error) {
 	if slot < minChipShare {
 		return 0, fmt.Errorf("server: %w (chip oversubscribed beyond %gx)", ErrPoolExhausted, 1/minChipShare)
 	}
+	incumbents := d.dir.snapshot(make([]*app, 0, d.dir.len()))
 	// Shrink the incumbents until the newcomer's slot fits. A single
 	// proportional scale is not enough: shares clamped up to
 	// minChipShare shrink less than their proportion, leaving
@@ -217,7 +219,7 @@ func (d *Daemon) makeRoom() (float64, error) {
 			break
 		}
 		above := 0.0 // shrinkable core-equivalents: share mass beyond the floor
-		for _, other := range d.apps {
+		for _, other := range incumbents {
 			if other.part == nil {
 				continue
 			}
@@ -232,7 +234,7 @@ func (d *Daemon) makeRoom() (float64, error) {
 		if f < 0 {
 			f = 0
 		}
-		for _, other := range d.apps {
+		for _, other := range incumbents {
 			if other.part == nil {
 				continue
 			}

@@ -197,6 +197,16 @@ func usage(d *Daemon) (int, float64) {
 	return parts, used
 }
 
+// mustApp resolves an enrolled app through the sharded directory.
+func mustApp(t *testing.T, d *Daemon, name string) *app {
+	t.Helper()
+	a, ok := d.lookup(name)
+	if !ok {
+		t.Fatalf("%q not enrolled", name)
+	}
+	return a
+}
+
 // Advisory enrollment still works on a chip daemon, and chip mode is
 // refused on an advisory daemon.
 func TestEnrollModes(t *testing.T) {
@@ -487,11 +497,11 @@ func TestMakeRoomDeepOversubscription(t *testing.T) {
 	// Skew the fleet: 50 partitions pinned at the minimum share, one
 	// holding nearly everything else (shrinks first so the grow fits).
 	for i := 1; i < incumbents; i++ {
-		if err := d.apps[fmt.Sprintf("inc-%02d", i)].part.SetShare(minChipShare); err != nil {
+		if err := mustApp(t, d, fmt.Sprintf("inc-%02d", i)).part.SetShare(minChipShare); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := d.apps["inc-00"].part.SetShare(0.49); err != nil {
+	if err := mustApp(t, d, "inc-00").part.SetShare(0.49); err != nil {
 		t.Fatal(err)
 	}
 	if _, used := usage(d); used < 0.98 {
@@ -506,7 +516,7 @@ func TestMakeRoomDeepOversubscription(t *testing.T) {
 		t.Fatalf("ledger overcommitted: %g > %d", used, tiles)
 	}
 	slot := float64(tiles) / float64(incumbents+1)
-	if got := d.apps["newcomer"].part.Share(); got < slot*0.9 {
+	if got := mustApp(t, d, "newcomer").part.Share(); got < slot*0.9 {
 		t.Fatalf("newcomer share %g, want ~fair slot %g", got, slot)
 	}
 	if f := d.chip.LedgerFaults(); f != 0 {
@@ -545,11 +555,9 @@ func TestPowerCapOvercommitSurfaced(t *testing.T) {
 	}
 	avail := 20 - d.cfg.Chip.Params.UncoreW
 	sum := 0.0
-	d.mu.RLock()
-	for _, a := range d.apps {
+	for _, a := range d.dir.snapshot(nil) {
 		sum += a.lastCapX * a.nomActiveW
 	}
-	d.mu.RUnlock()
 	if sum > avail*1.05 {
 		t.Fatalf("summed caps %gW exceed the available %gW", sum, avail)
 	}

@@ -8,18 +8,25 @@
 // core pool, ticking continuously on a wall clock (or an accelerated
 // simulated clock for tests and offline drivers).
 //
-// Concurrency model: heartbeat.Monitor and heartbeat.Registry are
-// internally synchronized, so beat ingestion never serializes behind the
-// decision loop. The Daemon's own mutex guards only the app directory
-// and the (single-threaded) Manager; per-app decision state is guarded
-// by the app's mutex. core.Runtime is touched exclusively by the tick
-// goroutine.
+// Concurrency model: the application directory is sharded (shard.go) —
+// beat ingestion and status lookups resolve an app with one lock-free
+// atomic load, enroll/withdraw copy-on-write under a per-shard mutex,
+// and the tick fans its per-application phases across a worker pool one
+// shard at a time. The Daemon's own mutex guards only the control plane
+// (the single-threaded Manager and chip admission); per-app decision
+// state is guarded by the app's mutex; each app's core.Runtime is
+// touched by exactly one tick worker per tick (ticks never overlap).
+// The sharded tick is byte-identical to the serial pass: allocations
+// come from one deterministic Manager.Step, and every per-app phase is
+// independent across apps (enforced by the invariant tests).
 package server
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -48,6 +55,20 @@ var (
 // monopolize the daemon.
 const MaxBeatBatch = 10000
 
+// MaxDistortion bounds a beat's |distortion| report. Distortion is a
+// linear distance from the application's nominal value — any real
+// report is modest — while values near MaxFloat64 would overflow the
+// monitor's windowed sum to Inf (found by FuzzBeatTimestampsDirect)
+// and poison the accuracy goal check.
+const MaxDistortion = 1e150
+
+func validDistortion(d float64) error {
+	if math.IsNaN(d) || d > MaxDistortion || d < -MaxDistortion {
+		return fmt.Errorf("server: distortion %g outside [-%g, %g]", d, MaxDistortion, MaxDistortion)
+	}
+	return nil
+}
+
 // Config tunes the daemon. Zero fields select documented defaults.
 type Config struct {
 	// Cores is the shared resource pool the Manager water-fills across
@@ -68,6 +89,14 @@ type Config struct {
 	// applications time-share units (fractional Allocation.Share)
 	// instead of being refused at enrollment.
 	Oversubscribe bool
+	// Shards is the application-directory shard count, rounded up to a
+	// power of two (default: scaled from GOMAXPROCS). One shard plus one
+	// tick worker reproduces the serial daemon exactly.
+	Shards int
+	// TickWorkers is the tick's worker-pool size for the per-shard
+	// advance and decide phases (default GOMAXPROCS). Allocations are
+	// byte-identical for any worker count.
+	TickWorkers int
 	// Chip, when non-nil, turns on chip-backed serving: every enrolled
 	// application is bound to a partition of one shared angstrom chip
 	// and actuated through real hardware knobs (cores, L2, DVFS)
@@ -85,6 +114,12 @@ func (c *Config) fill() {
 	if c.Window == 0 {
 		c.Window = heartbeat.DefaultWindow
 	}
+	if c.Shards == 0 {
+		c.Shards = defaultShardCount()
+	}
+	if c.TickWorkers == 0 {
+		c.TickWorkers = runtime.GOMAXPROCS(0)
+	}
 	if c.Chip != nil {
 		c.Chip.fill(c.Cores)
 	}
@@ -92,17 +127,22 @@ func (c *Config) fill() {
 
 // app is one enrolled application's serving state.
 type app struct {
-	name string
-	spec workload.Spec
-	mon  *heartbeat.Monitor
-	rt   *core.Runtime // stepped only by the tick goroutine
+	name  string
+	mgrID int // the Manager's stable handle; indexes the tick's alloc table
+	spec  workload.Spec
+	mon   *heartbeat.Monitor
+	rt    *core.Runtime // stepped only by the owning tick worker
+
+	// goalEpoch counts SetGoal calls; the tick's quiescence check uses
+	// it to re-decide after a goal change without re-reading the goal.
+	goalEpoch atomic.Uint64
 
 	// Chip-backed state (nil/zero for advisory apps). part is the app's
 	// slice of the shared chip; units mirrors the manager's latest unit
 	// grant for the core-knob clamp; pending is the previous decision's
 	// schedule, executed by the next tick; settle is the schedule's
 	// duration-weighted configuration the knobs are parked at between
-	// intervals (tick goroutine only).
+	// intervals (tick workers only).
 	part       *angstrom.Partition
 	units      atomic.Int64
 	pending    []core.Slice
@@ -110,6 +150,17 @@ type app struct {
 	nomActiveW float64 // active watts at the nominal configuration
 	minPowerX  float64 // cheapest power multiplier in the action space
 	lastCapX   float64 // last applied power cap (tick goroutine only)
+
+	// Quiescence tracking, touched only by the app's tick worker: the
+	// inputs the last real rt.Step consumed. While none move (no new
+	// beats, same allocation, same goal epoch, last step clean) the
+	// previous decision stands and the decide phase skips the app.
+	stepped          bool
+	steppedErrored   bool
+	steppedBeats     uint64
+	steppedGoalEpoch uint64
+	steppedUnits     int
+	steppedShare     float64
 
 	mu          sync.Mutex
 	decision    core.Decision
@@ -129,13 +180,38 @@ type Daemon struct {
 	cfg      Config
 	clock    sim.Nower
 	simClock *AtomicClock // non-nil iff Accel > 0
+	workers  int
 
 	reg  *heartbeat.Registry
 	chip *angstrom.SharedChip // non-nil iff cfg.Chip != nil
 
-	mu   sync.RWMutex
-	apps map[string]*app
-	mgr  *core.Manager
+	dir *directory // sharded app index; lock-free reads
+
+	// mu is the control-plane lock: the (single-threaded) Manager, chip
+	// admission (makeRoom), and enroll/withdraw sequencing. The beat and
+	// status paths never take it.
+	mu        sync.Mutex
+	mgr       *core.Manager
+	chipCount atomic.Int64
+
+	// The tick's allocation table, indexed by Manager app ID (no string
+	// hashing on the per-app path): an entry is valid for this tick iff
+	// its epoch stamp matches allocTick. Written under d.mu before the
+	// decide fan-out, read-only by the workers.
+	allocByID []core.Allocation
+	allocSeen []uint64
+	allocTick uint64
+
+	// snapBuf holds the tick's per-shard snapshots: immutable slice
+	// headers published by the directory, valid for the whole tick.
+	snapBuf [][]*app
+	chipBuf [][]*app // reused per-shard chip-app scratch
+
+	// testHookAfterSnapshot, when set, runs between the tick's snapshot
+	// phase and the advance phase — the window where a concurrent
+	// withdraw historically raced the held snapshots. Tests use it to
+	// withdraw deterministically mid-tick.
+	testHookAfterSnapshot func()
 
 	ticks     atomic.Uint64
 	beats     atomic.Uint64
@@ -161,14 +237,23 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 	if cfg.Window < 2 {
 		return nil, fmt.Errorf("server: window %d too small (need >= 2)", cfg.Window)
 	}
+	if cfg.Shards < 1 || cfg.Shards > 1<<16 {
+		return nil, fmt.Errorf("server: shard count %d outside [1, 65536]", cfg.Shards)
+	}
+	if cfg.TickWorkers < 1 {
+		return nil, fmt.Errorf("server: %d tick workers", cfg.TickWorkers)
+	}
 	d := &Daemon{
 		cfg:     cfg,
+		workers: cfg.TickWorkers,
 		reg:     heartbeat.NewRegistry(),
-		apps:    make(map[string]*app),
+		dir:     newDirectory(cfg.Shards),
 		started: time.Now(),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
+	d.snapBuf = make([][]*app, len(d.dir.shards))
+	d.chipBuf = make([][]*app, len(d.dir.shards))
 	if cfg.Accel > 0 {
 		d.simClock = NewAtomicClock(0)
 		d.clock = d.simClock
@@ -232,7 +317,40 @@ func buildSpace(spec workload.Spec) (*actuator.Space, error) {
 	return actuator.NewSpace(threadsAct, dvfsAct)
 }
 
+// curveShapes memoizes core.VerifyCurve per scaling curve. The key
+// mirrors workload's speedup-table memo — the curve is a pure function
+// of (ParallelFrac, SyncOverhead) sampled over the pool size — so a
+// fleet enrolled over a handful of workloads verifies each curve once.
+var curveShapes sync.Map // curveShapeKey -> curveShape
+
+type curveShapeKey struct {
+	parallelFrac float64
+	syncOverhead float64
+	cores        int
+}
+
+type curveShape struct {
+	peak     int
+	unimodal bool
+}
+
+func curveShapeFor(spec workload.Spec, cores int, scaling func(int) float64) curveShape {
+	key := curveShapeKey{spec.ParallelFrac, spec.SyncOverhead, cores}
+	if v, ok := curveShapes.Load(key); ok {
+		return v.(curveShape)
+	}
+	peak, unimodal := core.VerifyCurve(scaling, cores)
+	v, _ := curveShapes.LoadOrStore(key, curveShape{peak: peak, unimodal: unimodal})
+	return v.(curveShape)
+}
+
 func validGoal(minRate, maxRate float64) error {
+	// NaN slips through ordered comparisons, so finiteness is checked
+	// explicitly: a NaN/Inf band would poison every controller estimate
+	// downstream.
+	if math.IsNaN(minRate) || math.IsInf(minRate, 0) || math.IsNaN(maxRate) || math.IsInf(maxRate, 0) {
+		return fmt.Errorf("server: non-finite rate band [%g, %g]", minRate, maxRate)
+	}
 	if minRate <= 0 {
 		return fmt.Errorf("server: min_rate %g must be positive", minRate)
 	}
@@ -295,7 +413,7 @@ func (d *Daemon) Enroll(req EnrollRequest) error {
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, dup := d.apps[name]; dup {
+	if _, dup := d.dir.get(name); dup {
 		return fmt.Errorf("server: %q %w", name, ErrDuplicate)
 	}
 	if !d.cfg.Oversubscribe && d.mgr.Apps() >= d.cfg.Cores {
@@ -314,22 +432,41 @@ func (d *Daemon) Enroll(req EnrollRequest) error {
 			return err
 		}
 	}
-	if err := d.mgr.AddApp(name, mon, spec.ParallelSpeedup); err != nil {
+	// The memoized curve shares one table across every app on the same
+	// workload, and its verified shape is memoized alongside it: the
+	// manager's per-tick demand inversion reads array slots, and the
+	// O(cores) VerifyCurve scan runs once per curve, not once per
+	// enrollment (a 10k-app burst re-deriving it cost more than the
+	// enrollments themselves).
+	scaling := spec.CachedSpeedup(d.cfg.Cores)
+	shape := curveShapeFor(spec, d.cfg.Cores, scaling)
+	if err := d.mgr.AddAppWithShape(name, mon, scaling, shape.peak, shape.unimodal); err != nil {
 		d.unbindChip(a)
 		return err
 	}
+	a.mgrID, _ = d.mgr.AppID(name)
 	if err := d.reg.Enroll(name, mon); err != nil {
 		d.mgr.RemoveApp(name)
 		d.unbindChip(a)
 		return err
 	}
-	d.apps[name] = a
+	if !d.dir.insert(name, a) {
+		// Unreachable while enrolls serialize on d.mu, but keep the
+		// bookkeeping honest if that ever changes.
+		d.reg.Withdraw(name)
+		d.mgr.RemoveApp(name)
+		d.unbindChip(a)
+		return fmt.Errorf("server: %q %w", name, ErrDuplicate)
+	}
+	if a.part != nil {
+		d.chipCount.Add(1)
+	}
 	return nil
 }
 
 // unbindChip releases an app's chip partition, if any. The pointer is
-// left in place (the tick goroutine may hold a snapshot of the app);
-// the released partition turns further actuation into clean errors.
+// left in place (tick workers may hold a snapshot of the app); the
+// released partition turns further actuation into clean errors.
 func (d *Daemon) unbindChip(a *app) {
 	if a.part != nil {
 		d.chip.Release(a.name)
@@ -340,29 +477,26 @@ func (d *Daemon) unbindChip(a *app) {
 func (d *Daemon) Withdraw(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	a, ok := d.apps[name]
+	a, ok := d.dir.remove(name)
 	if !ok {
 		return fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
 	}
-	delete(d.apps, name)
 	d.reg.Withdraw(name)
 	d.mgr.RemoveApp(name)
 	d.unbindChip(a)
+	if a.part != nil {
+		d.chipCount.Add(-1)
+	}
 	return nil
 }
 
-// lookup fetches an app without holding the daemon lock longer than the
-// map read.
-func (d *Daemon) lookup(name string) (*app, bool) {
-	d.mu.RLock()
-	a, ok := d.apps[name]
-	d.mu.RUnlock()
-	return a, ok
-}
+// lookup resolves an app through the sharded directory: one hash, one
+// atomic load, one map read — no locks on the ingestion path.
+func (d *Daemon) lookup(name string) (*app, bool) { return d.dir.get(name) }
 
 // Beat ingests count heartbeats for name, the last one carrying the
 // given distortion. The monitor is internally synchronized, so beats
-// from many connections interleave safely with the tick goroutine.
+// from many connections interleave safely with the tick workers.
 //
 // A batch does not share one timestamp: the beats are spread evenly
 // across the interval since the application's previous beat, so
@@ -378,6 +512,9 @@ func (d *Daemon) lookup(name string) (*app, bool) {
 func (d *Daemon) Beat(name string, count int, distortion float64) error {
 	if count < 1 || count > MaxBeatBatch {
 		return fmt.Errorf("server: beat count %d outside [1, %d]", count, MaxBeatBatch)
+	}
+	if err := validDistortion(distortion); err != nil {
+		return err
 	}
 	a, ok := d.lookup(name)
 	if !ok {
@@ -419,16 +556,24 @@ func (d *Daemon) finishBatch(a *app, t sim.Time, distortion float64) {
 // supplied. The timestamps may use any epoch (a client monotonic clock,
 // Unix seconds): only their spacing is used — the batch is shifted so
 // its last beat lands at the daemon's current time, which makes the
-// path immune to client/server clock skew. Timestamps must be
-// non-decreasing; beats that would land before the application's
+// path immune to client/server clock skew. Timestamps must be finite
+// and non-decreasing; beats that would land before the application's
 // previous beat are clamped to it by the monitor.
 func (d *Daemon) BeatTimestamps(name string, ts []float64, distortion float64) error {
 	if len(ts) < 1 || len(ts) > MaxBeatBatch {
 		return fmt.Errorf("server: beat count %d outside [1, %d]", len(ts), MaxBeatBatch)
 	}
-	for i := 1; i < len(ts); i++ {
-		if ts[i] < ts[i-1] {
-			return fmt.Errorf("server: timestamps decrease at index %d (%g after %g)", i, ts[i], ts[i-1])
+	if err := validDistortion(distortion); err != nil {
+		return err
+	}
+	for i, t := range ts {
+		// NaN also passes ordered comparisons, so check finiteness
+		// first: a NaN timestamp would corrupt the monitor's frontier.
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return fmt.Errorf("server: non-finite timestamp %g at index %d", t, i)
+		}
+		if i > 0 && t < ts[i-1] {
+			return fmt.Errorf("server: timestamps decrease at index %d (%g after %g)", i, t, ts[i-1])
 		}
 	}
 	a, ok := d.lookup(name)
@@ -460,6 +605,7 @@ func (d *Daemon) SetGoal(name string, minRate, maxRate float64) error {
 		return fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
 	}
 	a.mon.SetPerformanceGoal(minRate, maxRate)
+	a.goalEpoch.Add(1)
 	return nil
 }
 
@@ -467,9 +613,12 @@ func (d *Daemon) SetGoal(name string, minRate, maxRate float64) error {
 // the accelerated clock (if any), execute chip-backed apps over the
 // elapsed interval (emitting their heartbeats), arbitrate shared cores,
 // then step each app's SEEC runtime and queue its schedule for the next
-// interval. Start runs this on a timer; accelerated drivers and
-// benchmarks may call it directly instead (never concurrently with
-// Start).
+// interval. The per-application phases fan out across the tick worker
+// pool shard by shard; quiescent apps (no new beats, unchanged
+// allocation and goal, last step clean) keep their previous decision
+// without re-running the decision engine. Start runs this on a timer;
+// accelerated drivers and benchmarks may call it directly instead
+// (never concurrently with Start).
 func (d *Daemon) Tick() {
 	if d.simClock != nil {
 		d.simClock.Advance(d.cfg.Accel)
@@ -483,26 +632,45 @@ func (d *Daemon) Tick() {
 		d.chip.UpdateContention()
 	}
 
-	d.mu.RLock()
-	snapshot := make([]*app, 0, len(d.apps))
-	for _, a := range d.apps {
-		snapshot = append(snapshot, a)
+	// Snapshot phase: one immutable slice header per shard. Withdrawn
+	// apps may linger in a snapshot; every later phase re-checks
+	// identity through the directory before acting.
+	for i := range d.snapBuf {
+		d.snapBuf[i] = d.dir.shardList(i)
 	}
-	d.mu.RUnlock()
+	if d.testHookAfterSnapshot != nil {
+		d.testHookAfterSnapshot()
+	}
 
 	// Act + observe: run every chip partition up to `now` under the
 	// previous decision's schedule, so the heartbeats the manager and
 	// controllers are about to read reflect this interval's execution.
+	// Fanned per shard; partitions advance independently.
+	if d.chip != nil {
+		d.dir.forEachShard(d.workers, func(i int) {
+			chips := d.chipBuf[i][:0]
+			for _, a := range d.snapBuf[i] {
+				if a.part == nil {
+					continue
+				}
+				if cur, ok := d.lookup(a.name); !ok || cur != a {
+					continue // withdrawn since the snapshot; partition released
+				}
+				chips = append(chips, a)
+				d.runChipInterval(a, now)
+			}
+			d.chipBuf[i] = chips
+		})
+	}
 	var chipApps []*app
-	for _, a := range snapshot {
-		if a.part == nil {
-			continue
+	if d.chip != nil {
+		for i := range d.chipBuf {
+			chipApps = append(chipApps, d.chipBuf[i]...)
 		}
-		if cur, ok := d.lookup(a.name); !ok || cur != a {
-			continue // withdrawn since the snapshot; partition released
-		}
-		chipApps = append(chipApps, a)
-		d.runChipInterval(a, now)
+		// Name order, not shard order: the share-apply and power-cap
+		// passes below interact with the shared tile ledger, so a stable
+		// order keeps them independent of the shard layout.
+		sort.Slice(chipApps, func(i, j int) bool { return chipApps[i].name < chipApps[j].name })
 	}
 
 	d.mu.Lock()
@@ -518,9 +686,22 @@ func (d *Daemon) Tick() {
 			allocs = nil
 		}
 	}
-	byName := make(map[string]core.Allocation, len(allocs))
+	// Publish the allocations into the ID-indexed table: integer reads
+	// on the per-app path instead of a 10k-entry name map rebuilt every
+	// tick. Epoch stamping makes last tick's entries invisible without
+	// clearing anything.
+	d.allocTick++
 	for _, al := range allocs {
-		byName[al.App] = al
+		if al.ID >= len(d.allocByID) {
+			grown := make([]core.Allocation, al.ID+1+len(d.allocByID))
+			copy(grown, d.allocByID)
+			d.allocByID = grown
+			seen := make([]uint64, len(grown))
+			copy(seen, d.allocSeen)
+			d.allocSeen = seen
+		}
+		d.allocByID[al.ID] = al
+		d.allocSeen[al.ID] = d.allocTick
 	}
 
 	// Apply the manager's time shares to chip partitions, shrinks first
@@ -530,7 +711,7 @@ func (d *Daemon) Tick() {
 	// pre-shrink values would undo it and spuriously refuse admission.
 	for pass := 0; pass < 2; pass++ {
 		for _, a := range chipApps {
-			al, ok := byName[a.name]
+			al, ok := d.allocFor(a.mgrID)
 			if !ok || al.Share <= 0 {
 				continue
 			}
@@ -544,38 +725,91 @@ func (d *Daemon) Tick() {
 
 	d.rebalancePowerCaps(chipApps) // no-op without a budget; cheap when caps are stable
 
-	for _, a := range snapshot {
-		// Skip apps withdrawn since the snapshot: stepping them would
-		// count decisions for (and actuate) an app no longer enrolled.
-		if cur, ok := d.lookup(a.name); !ok || cur != a {
-			continue
+	// Decide: step every non-quiescent app's runtime, fanned per shard.
+	// The allocation table is written above and only read from here on,
+	// so the workers share it without synchronization.
+	d.dir.forEachShard(d.workers, func(i int) {
+		for _, a := range d.snapBuf[i] {
+			// Skip apps withdrawn since the snapshot: stepping them would
+			// count decisions for (and actuate) an app no longer enrolled.
+			if cur, ok := d.lookup(a.name); !ok || cur != a {
+				continue
+			}
+			al, hasAlloc := d.allocFor(a.mgrID)
+			if hasAlloc {
+				a.units.Store(int64(al.Units))
+			}
+			d.decide(a, al, hasAlloc)
 		}
-		al, hasAlloc := byName[a.name]
-		if hasAlloc {
-			a.units.Store(int64(al.Units))
-		}
-		dec, err := a.rt.Step()
-		a.mu.Lock()
-		if err != nil {
-			a.decisionErr = err.Error()
-		} else {
-			a.decision = dec
-			a.hasDecision = true
-			a.decisionErr = ""
-			d.decisions.Add(1)
-		}
-		if hasAlloc {
-			a.alloc = al
-		}
-		a.mu.Unlock()
-		if a.part != nil && err == nil {
-			// Slices(1) yields fractions of the next interval; the next
-			// tick scales them by the real elapsed time.
-			a.pending = dec.Slices(1)
-			a.settle = settleConfig(dec)
-		}
-	}
+	})
 	d.ticks.Add(1)
+}
+
+// allocFor reads this tick's allocation for a Manager app ID (ok=false
+// when the app was not part of the tick's Step — e.g. enrolled after
+// it, or the Step errored). An ID freed by a withdraw and re-issued to
+// a newer app is safe: the entry is overwritten before it is consulted,
+// or epoch-invisible.
+func (d *Daemon) allocFor(id int) (core.Allocation, bool) {
+	if id < 0 || id >= len(d.allocByID) || d.allocSeen[id] != d.allocTick {
+		return core.Allocation{}, false
+	}
+	return d.allocByID[id], true
+}
+
+// decide runs (or skips) one app's decision. Called only by the app's
+// tick worker.
+func (d *Daemon) decide(a *app, al core.Allocation, hasAlloc bool) {
+	// Load the quiescence inputs before stepping: anything that moves
+	// after these reads re-triggers a step next tick, never silently
+	// extends a skip.
+	goalEpoch := a.goalEpoch.Load()
+	beats := a.mon.Count()
+	if a.part == nil && a.stepped && !a.steppedErrored &&
+		beats == a.steppedBeats && goalEpoch == a.steppedGoalEpoch &&
+		(!hasAlloc || (al.Units == a.steppedUnits && al.Share == a.steppedShare)) {
+		// Quiescent: hold the standing decision. Stepping an idle app
+		// would feed the controller a zero-rate interval artifact and
+		// wind it up; MarkIdle keeps the runtime's observation interval
+		// current so the wake-up step measures only the period in which
+		// beats actually reappeared, not the whole gap. Refresh the
+		// allocation view (Demand/GoalMet can move even when Units/Share
+		// do not).
+		a.rt.MarkIdle()
+		if hasAlloc {
+			a.mu.Lock()
+			a.alloc = al
+			a.mu.Unlock()
+		}
+		return
+	}
+	dec, err := a.rt.Step()
+	a.stepped = true
+	a.steppedErrored = err != nil
+	a.steppedBeats = beats
+	a.steppedGoalEpoch = goalEpoch
+	if hasAlloc {
+		a.steppedUnits, a.steppedShare = al.Units, al.Share
+	}
+	a.mu.Lock()
+	if err != nil {
+		a.decisionErr = err.Error()
+	} else {
+		a.decision = dec
+		a.hasDecision = true
+		a.decisionErr = ""
+		d.decisions.Add(1)
+	}
+	if hasAlloc {
+		a.alloc = al
+	}
+	a.mu.Unlock()
+	if a.part != nil && err == nil {
+		// Slices(1) yields fractions of the next interval; the next
+		// tick scales them by the real elapsed time.
+		a.pending = dec.Slices(1)
+		a.settle = settleConfig(dec)
+	}
 }
 
 // Start launches the ODA loop. It returns immediately; Stop shuts the
@@ -613,12 +847,7 @@ func (d *Daemon) Status(name string) (AppStatus, error) {
 
 // List reports every enrolled application, sorted by name.
 func (d *Daemon) List() []AppStatus {
-	d.mu.RLock()
-	snapshot := make([]*app, 0, len(d.apps))
-	for _, a := range d.apps {
-		snapshot = append(snapshot, a)
-	}
-	d.mu.RUnlock()
+	snapshot := d.dir.snapshot(make([]*app, 0, d.dir.len()))
 	out := make([]AppStatus, len(snapshot))
 	for i, a := range snapshot {
 		out[i] = d.status(a)
@@ -745,19 +974,11 @@ func (d *Daemon) ChipStatus() (ChipStatusResponse, bool) {
 
 // Stats reports daemon-wide counters.
 func (d *Daemon) Stats() StatsResponse {
-	d.mu.RLock()
-	apps := len(d.apps)
-	chipApps := 0
-	for _, a := range d.apps {
-		if a.part != nil {
-			chipApps++
-		}
-	}
-	d.mu.RUnlock()
 	return StatsResponse{
-		Apps:             apps,
-		ChipApps:         chipApps,
+		Apps:             d.dir.len(),
+		ChipApps:         int(d.chipCount.Load()),
 		Cores:            d.cfg.Cores,
+		Shards:           len(d.dir.shards),
 		Ticks:            d.ticks.Load(),
 		Beats:            d.beats.Load(),
 		Decisions:        d.decisions.Load(),

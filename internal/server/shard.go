@@ -1,0 +1,194 @@
+package server
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The sharded application directory. One daemon mutex in front of a
+// single map bounds fleet size long before the ingestion path does:
+// every beat, status read, and tick snapshot serializes on it. The
+// directory instead hashes application names across N shards. Reads
+// (the beat hot path, status lookups, tick snapshots) are lock-free:
+// each shard publishes an immutable map (name lookup) and an immutable
+// slice (iteration) through atomic pointers, and writers
+// (enroll/withdraw — rare next to beats) copy-on-write under the
+// shard's mutex. The tick fans its per-application phases across a
+// worker pool one shard at a time, so decide-phase work scales with
+// cores instead of running single-threaded, and its snapshot phase is
+// a slice-header load per shard rather than a map walk.
+
+// dirShard is one slice of the directory. The mutex serializes writers
+// only; readers go straight through the atomic pointers.
+type dirShard struct {
+	mu   sync.Mutex
+	apps atomic.Pointer[map[string]*app]
+	list atomic.Pointer[[]*app]
+	// Pad the struct to a full 64-byte cache line (8 mutex + 16
+	// pointers + 40) so write-heavy churn on one shard does not
+	// false-share a line with its neighbors' read pointers.
+	_ [40]byte
+}
+
+// directory is the N-way sharded application index.
+type directory struct {
+	shards []dirShard
+	mask   uint64
+	count  atomic.Int64
+}
+
+// defaultShardCount sizes the directory when the config does not:
+// enough shards that tick workers (one per core) rarely idle behind a
+// straggler shard and writer contention spreads, without making
+// tiny-fleet snapshots scan hundreds of empty shards.
+func defaultShardCount() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	if n > 128 {
+		n = 128
+	}
+	return n
+}
+
+// newDirectory builds a directory with n shards (rounded up to a power
+// of two so the hash can mask instead of mod).
+func newDirectory(n int) *directory {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	d := &directory{shards: make([]dirShard, size), mask: uint64(size - 1)}
+	for i := range d.shards {
+		empty := make(map[string]*app)
+		d.shards[i].apps.Store(&empty)
+		d.shards[i].list.Store(new([]*app))
+	}
+	return d
+}
+
+// shardFor hashes a name to its shard with FNV-1a. A fixed hash (not a
+// per-directory random seed) keeps shard assignment — and therefore
+// tick iteration order — identical across daemons and runs: the same
+// determinism discipline Sweep follows, enforced by the replay tests.
+func (d *directory) shardFor(name string) *dirShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return &d.shards[h&d.mask]
+}
+
+// get is the lock-free read path: one hash, one atomic load, one map
+// lookup. Beat ingestion rides entirely on it.
+func (d *directory) get(name string) (*app, bool) {
+	a, ok := (*d.shardFor(name).apps.Load())[name]
+	return a, ok
+}
+
+// insert adds an application, reporting false on a duplicate name.
+func (d *directory) insert(name string, a *app) bool {
+	s := d.shardFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.apps.Load()
+	if _, dup := old[name]; dup {
+		return false
+	}
+	next := make(map[string]*app, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = a
+	oldList := *s.list.Load()
+	nextList := make([]*app, len(oldList)+1)
+	copy(nextList, oldList)
+	nextList[len(oldList)] = a
+	s.apps.Store(&next)
+	s.list.Store(&nextList)
+	d.count.Add(1)
+	return true
+}
+
+// remove deletes an application, returning it (ok=false if absent).
+func (d *directory) remove(name string) (*app, bool) {
+	s := d.shardFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := *s.apps.Load()
+	a, ok := old[name]
+	if !ok {
+		return nil, false
+	}
+	next := make(map[string]*app, len(old)-1)
+	for k, v := range old {
+		if k != name {
+			next[k] = v
+		}
+	}
+	oldList := *s.list.Load()
+	nextList := make([]*app, 0, len(oldList)-1)
+	for _, v := range oldList {
+		if v != a {
+			nextList = append(nextList, v)
+		}
+	}
+	s.apps.Store(&next)
+	s.list.Store(&nextList)
+	d.count.Add(-1)
+	return a, true
+}
+
+// len reports the enrolled-application count.
+func (d *directory) len() int { return int(d.count.Load()) }
+
+// snapshot appends every enrolled application to buf and returns it.
+// The result is a point-in-time view: apps withdrawn afterwards remain
+// in the slice (callers re-check identity via get before acting).
+func (d *directory) snapshot(buf []*app) []*app {
+	for i := range d.shards {
+		buf = append(buf, *d.shards[i].list.Load()...)
+	}
+	return buf
+}
+
+// shardList returns shard i's published app slice. It is immutable
+// (writers replace, never mutate), so callers may hold it across an
+// entire tick without copying.
+func (d *directory) shardList(i int) []*app { return *d.shards[i].list.Load() }
+
+// forEachShard runs fn(shard index) across a pool of `workers`
+// goroutines, each claiming whole shards so per-shard state never needs
+// cross-worker synchronization. workers <= 1 runs inline — the serial
+// pass the parallel one must match byte for byte.
+func (d *directory) forEachShard(workers int, fn func(shard int)) {
+	n := len(d.shards)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

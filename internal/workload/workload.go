@@ -16,6 +16,7 @@ package workload
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"angstrom/internal/sim"
 )
@@ -114,6 +115,46 @@ func (s Spec) ParallelSpeedup(c int) float64 {
 	cf := float64(c)
 	t := (1 - s.ParallelFrac) + s.ParallelFrac/cf + s.SyncOverhead*math.Log2(cf)
 	return 1 / t
+}
+
+// speedupTables memoizes CachedSpeedup tables. The curve depends only
+// on (ParallelFrac, SyncOverhead, size), so a fleet of thousands of
+// applications enrolled over the same few specs shares a handful of
+// tables instead of re-evaluating Amdahl + log2 per (app, unit count).
+var speedupTables sync.Map // speedupKey -> []float64
+
+type speedupKey struct {
+	parallelFrac float64
+	syncOverhead float64
+	size         int
+}
+
+// CachedSpeedup returns ParallelSpeedup as a closure backed by a shared
+// memoized table covering 1..size cores (larger counts fall through to
+// the direct evaluation). Fleet-scale consumers — the serving daemon
+// enrolls one scaling curve per application, and the manager's demand
+// inversion probes it every decision period — read array slots instead
+// of recomputing the transcendentals each call.
+func (s Spec) CachedSpeedup(size int) func(int) float64 {
+	if size < 1 {
+		size = 1
+	}
+	key := speedupKey{s.ParallelFrac, s.SyncOverhead, size}
+	v, ok := speedupTables.Load(key)
+	if !ok {
+		table := make([]float64, size+1)
+		for c := 1; c <= size; c++ {
+			table[c] = s.ParallelSpeedup(c)
+		}
+		v, _ = speedupTables.LoadOrStore(key, table)
+	}
+	table := v.([]float64)
+	return func(c int) float64 {
+		if c >= 1 && c < len(table) {
+			return table[c]
+		}
+		return s.ParallelSpeedup(c)
+	}
 }
 
 // EffectiveWSKB is the per-core working-set footprint on c cores: the
