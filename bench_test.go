@@ -20,6 +20,7 @@ import (
 	"angstrom/internal/core"
 	"angstrom/internal/experiment"
 	"angstrom/internal/heartbeat"
+	"angstrom/internal/journal"
 	"angstrom/internal/noc"
 	"angstrom/internal/server"
 	"angstrom/internal/sim"
@@ -521,6 +522,113 @@ func BenchmarkDaemonTick10kActive(b *testing.B) {
 		}
 		b.StartTimer()
 		d.Tick()
+	}
+}
+
+// BenchmarkDaemonTick10kJournaled is the durable-serving gate: the same
+// 10k-app decision period with the journal enabled. The tick path only
+// buffers its epoch record (no I/O, no fsync — the background flusher
+// owns durability), so journaling must cost the tick nearly nothing
+// next to BenchmarkDaemonTick10k.
+func BenchmarkDaemonTick10kJournaled(b *testing.B) {
+	d, err := server.NewDaemon(server.Config{
+		Cores: 4096, Accel: 0.1, Period: time.Hour, Oversubscribe: true,
+		DataDir: "j", FS: journal.NewMemFS(), SnapshotEvery: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"barnes", "ocean", "raytrace", "water", "volrend"}
+	for i := 0; i < 10000; i++ {
+		err := d.Enroll(server.EnrollRequest{
+			Name:     fmt.Sprintf("app-%05d", i),
+			Workload: names[i%len(names)],
+			MinRate:  50,
+			MaxRate:  70,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		if err := d.Beat(fmt.Sprintf("app-%05d", i), 8, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	d.Tick()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Tick()
+	}
+	b.StopTimer()
+	if err := d.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkJournalAppend gates the journal's hot-path entry: appending
+// one framed record is pure buffering — no I/O, no fsync, amortized
+// zero allocations — so beats and tick records can journal from the
+// serving path without touching the disk.
+func BenchmarkJournalAppend(b *testing.B) {
+	w, err := journal.NewWriter(journal.NewMemFS(), "j", 0, journal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte(`{"op":"beat","t":123.456,"name":"app-01234","count":8}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+		if i%4096 == 4095 {
+			b.StopTimer() // drain so the buffer doesn't grow with b.N
+			if err := w.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkRecovery10k measures cold boot from a durable control plane:
+// recover the journal and replay 10,000 enrollments back into the
+// sharded directory and the manager.
+func BenchmarkRecovery10k(b *testing.B) {
+	fs := journal.NewMemFS()
+	cfg := server.Config{
+		Cores: 4096, Accel: 0.1, Period: time.Hour, Oversubscribe: true,
+		DataDir: "j", FS: fs, SnapshotEvery: -1, JournalFlush: -1,
+	}
+	d, err := server.NewDaemon(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"barnes", "ocean", "raytrace", "water", "volrend"}
+	for i := 0; i < 10000; i++ {
+		err := d.Enroll(server.EnrollRequest{
+			Name:     fmt.Sprintf("app-%05d", i),
+			Workload: names[i%len(names)],
+			MinRate:  50,
+			MaxRate:  70,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		boot := cfg
+		boot.FS = fs.Crash(0)
+		r, err := server.NewDaemon(boot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.RecoveryInfo().Apps != 10000 {
+			b.Fatal("fleet not fully restored")
+		}
 	}
 }
 

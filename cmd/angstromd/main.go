@@ -17,9 +17,20 @@
 //
 //	angstromd -chip -chip-tiles 256 -oversubscribe -chip-power 40 -chip-mem-bw 200
 //
+// With -data-dir, the control plane is durable: every mutation is
+// written ahead to a checksummed journal, periodic snapshots compact
+// it, and a restart (or crash) restores the enrolled fleet — directory,
+// tile ledger, goals — and resumes the recovered timeline. If the disk
+// fails mid-run the daemon degrades to read-only serving (mutations
+// 503) instead of silently losing durability; SIGTERM drains the HTTP
+// server, finishes the in-flight tick, and flushes a final snapshot.
+//
+//	angstromd -data-dir /var/lib/angstromd -beat-timeout 30s
+//
 // Endpoints (see docs/API.md and internal/server):
 //
 //	GET    /healthz
+//	GET    /readyz
 //	GET    /v1/stats
 //	GET    /v1/chip               (404 unless -chip)
 //	GET    /v1/apps
@@ -60,6 +71,9 @@ func main() {
 	chipPower := flag.Float64("chip-power", 0, "chip-wide power budget in watts (0 = unlimited)")
 	chipMemBW := flag.Float64("chip-mem-bw", 0, "off-chip memory bandwidth in GB/s shared by all partitions (0 = model default)")
 	chipNoCBW := flag.Float64("chip-noc-bw", 0, "mesh link bandwidth in flits/cycle for the contention model (0 = model default)")
+	dataDir := flag.String("data-dir", "", "journal + snapshot directory for a durable control plane (empty = volatile)")
+	snapEvery := flag.Duration("snapshot-interval", 0, "snapshot compaction interval (0 = 30s default, negative = journal-only)")
+	beatTimeout := flag.Duration("beat-timeout", 0, "evict advisory apps silent for this many daemon-clock seconds (0 = never)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -70,6 +84,9 @@ func main() {
 		Oversubscribe: *oversub,
 		Shards:        *shards,
 		TickWorkers:   *tickWorkers,
+		DataDir:       *dataDir,
+		SnapshotEvery: *snapEvery,
+		BeatTimeout:   *beatTimeout,
 	}
 	if *chip {
 		cc := &server.ChipConfig{
@@ -90,8 +107,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *dataDir != "" {
+		ri := d.RecoveryInfo()
+		log.Printf("angstromd: restored %d apps from %s (snapshot %d + %d journal records, %d bytes torn tail repaired)",
+			ri.Apps, *dataDir, ri.SnapshotSeq, ri.ReplayedRecords, ri.TruncatedBytes)
+		if len(ri.DroppedSegments) > 0 || ri.BadRecords > 0 {
+			log.Printf("angstromd: WARNING: recovery dropped %d segments, skipped %d undecodable records",
+				len(ri.DroppedSegments), ri.BadRecords)
+		}
+	}
 	d.Start()
-	defer d.Stop()
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -117,6 +142,11 @@ func main() {
 		*addr, *cores, *period, *accel, *oversub, d.Stats().Shards)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
+	}
+	// Drain: the HTTP server has stopped accepting; finish the in-flight
+	// tick, flush a final snapshot, and close the journal cleanly.
+	if err := d.Close(); err != nil {
+		log.Printf("angstromd: drain: %v", err)
 	}
 	stats := d.Stats()
 	log.Printf("angstromd: stopped after %d ticks, %d beats, %d decisions",

@@ -14,6 +14,14 @@
 //
 //	go run ./examples/loadgen -apps 10000 -rate 5 -batch 25 -duration 30s
 //
+// Requests retry with capped exponential backoff + jitter, so the
+// fleet rides through a daemon restart instead of counting errors.
+// With -restart-after the spawned daemon demonstrates it: mid-run it
+// is drained and replaced by a fresh one restored from -data-dir, and
+// the streams keep beating against the recovered fleet:
+//
+//	go run ./examples/loadgen -apps 1000 -duration 20s -restart-after 8s
+//
 // Run: go run ./examples/loadgen -apps 1000 -duration 10s
 package main
 
@@ -26,6 +34,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -47,34 +56,69 @@ func main() {
 	period := flag.Duration("period", 100*time.Millisecond, "decision period of the spawned daemon")
 	oversub := flag.Bool("oversubscribe", true, "admit fleets larger than the core pool (time-sharing)")
 	shards := flag.Int("shards", 0, "directory shards of the spawned daemon (0 = auto)")
+	retries := flag.Int("retries", 5, "max retries per request on transient errors (backoff + jitter)")
+	dataDir := flag.String("data-dir", "", "data directory of the spawned daemon (empty = volatile, or temp with -restart-after)")
+	restartAfter := flag.Duration("restart-after", 0, "restart the spawned daemon after this long (restore from -data-dir)")
 	flag.Parse()
 
 	base := *addr
 	if base == "" {
-		d, err := server.NewDaemon(server.Config{
+		if *restartAfter > 0 && *dataDir == "" {
+			tmp, err := os.MkdirTemp("", "loadgen-journal-")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(tmp)
+			*dataDir = tmp
+		}
+		cfg := server.Config{
 			Cores:         *cores,
 			Period:        *period,
 			Oversubscribe: *oversub,
 			Shards:        *shards,
-		})
-		if err != nil {
-			log.Fatal(err)
+			DataDir:       *dataDir,
 		}
-		d.Start()
-		defer d.Stop()
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
-		}
-		srv := &http.Server{Handler: d.Handler()}
-		go func() {
-			if err := srv.Serve(ln); err != http.ErrServerClosed {
-				log.Print(err)
+		spawn := func(listen string) (*server.Daemon, *http.Server, net.Listener) {
+			d, err := server.NewDaemon(cfg)
+			if err != nil {
+				log.Fatal(err)
 			}
-		}()
+			d.Start()
+			ln, err := net.Listen("tcp", listen)
+			if err != nil {
+				log.Fatal(err)
+			}
+			srv := &http.Server{Handler: d.Handler()}
+			go func() {
+				if err := srv.Serve(ln); err != http.ErrServerClosed {
+					log.Print(err)
+				}
+			}()
+			return d, srv, ln
+		}
+		d, srv, ln := spawn("127.0.0.1:0")
+		defer func() { _ = d.Close() }()
 		defer srv.Close()
 		base = "http://" + ln.Addr().String()
-		log.Printf("spawned angstromd on %s (cores=%d period=%s)", base, *cores, *period)
+		log.Printf("spawned angstromd on %s (cores=%d period=%s data-dir=%q)", base, *cores, *period, *dataDir)
+
+		if *restartAfter > 0 {
+			// Mid-run restart: drain the daemon (final snapshot), drop the
+			// listener, and bring up a fresh daemon restored from the data
+			// directory on the same port. In-flight requests fail and ride
+			// through on the client's retry/backoff path.
+			time.AfterFunc(*restartAfter, func() {
+				log.Printf("restarting daemon (drain + restore from %s)...", *dataDir)
+				srv.Close()
+				if err := d.Close(); err != nil {
+					log.Printf("drain: %v", err)
+				}
+				d2, _, _ := spawn(ln.Addr().String())
+				ri := d2.RecoveryInfo()
+				log.Printf("restarted: %d apps restored (snapshot %d + %d journal records)",
+					ri.Apps, ri.SnapshotSeq, ri.ReplayedRecords)
+			})
+		}
 	}
 
 	client := &http.Client{
@@ -89,29 +133,46 @@ func main() {
 		beats    atomic.Uint64
 		requests atomic.Uint64
 		errs     atomic.Uint64
+		retried  atomic.Uint64
 		latMu    sync.Mutex
 		lats     []time.Duration
 	)
+	// post retries transport errors and 5xx responses (a restarting or
+	// journal-degraded daemon) with capped exponential backoff plus full
+	// jitter; 4xx client errors fail immediately.
 	post := func(path string, body any) error {
 		buf, err := json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		t0 := time.Now()
-		resp, err := client.Post(base+path, "application/json", bytes.NewReader(buf))
-		if err != nil {
-			return err
+		backoff := 50 * time.Millisecond
+		const maxBackoff = 2 * time.Second
+		for attempt := 0; ; attempt++ {
+			t0 := time.Now()
+			resp, err := client.Post(base+path, "application/json", bytes.NewReader(buf))
+			if err == nil {
+				resp.Body.Close()
+				latMu.Lock()
+				lats = append(lats, time.Since(t0))
+				latMu.Unlock()
+				requests.Add(1)
+				if resp.StatusCode < 300 {
+					return nil
+				}
+				err = fmt.Errorf("%s: status %d", path, resp.StatusCode)
+				if resp.StatusCode < 500 {
+					return err
+				}
+			}
+			if attempt >= *retries {
+				return err
+			}
+			retried.Add(1)
+			time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff))))
+			if backoff < maxBackoff {
+				backoff *= 2
+			}
 		}
-		resp.Body.Close()
-		lat := time.Since(t0)
-		latMu.Lock()
-		lats = append(lats, lat)
-		latMu.Unlock()
-		requests.Add(1)
-		if resp.StatusCode >= 300 {
-			return fmt.Errorf("%s: status %d", path, resp.StatusCode)
-		}
-		return nil
 	}
 
 	log.Printf("enrolling %d applications...", *apps)
@@ -189,9 +250,9 @@ func main() {
 
 	elapsed := duration.Seconds()
 	fmt.Printf("\n=== loadgen: %d apps for %s against %s ===\n", *apps, duration, base)
-	fmt.Printf("ingested   %d beats (%.0f beats/s), %d requests (%.0f req/s), %d errors\n",
+	fmt.Printf("ingested   %d beats (%.0f beats/s), %d requests (%.0f req/s), %d errors, %d retries\n",
 		beats.Load(), float64(beats.Load())/elapsed,
-		requests.Load(), float64(requests.Load())/elapsed, errs.Load())
+		requests.Load(), float64(requests.Load())/elapsed, errs.Load(), retried.Load())
 	fmt.Printf("latency    p50 %s  p99 %s  max %s\n", p50, p99, max)
 	fmt.Printf("oda loop   %d ticks, %d decisions (%.0f decisions/s)\n",
 		stats.Ticks, stats.Decisions, float64(stats.Decisions)/elapsed)

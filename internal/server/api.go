@@ -162,10 +162,12 @@ type StatsResponse struct {
 	// Shards is the application-directory shard count (the tick fans
 	// its per-app phases across these).
 	Shards        int     `json:"shards,omitempty"`
-	Ticks         uint64  `json:"ticks"`
-	Beats         uint64  `json:"beats"`
-	Decisions     uint64  `json:"decisions"`
-	ClockSeconds  float64 `json:"clock_seconds"`
+	Ticks     uint64 `json:"ticks"`
+	Beats     uint64 `json:"beats"`
+	Decisions uint64 `json:"decisions"`
+	// Evicted counts stale applications withdrawn by -beat-timeout.
+	Evicted      uint64  `json:"evicted,omitempty"`
+	ClockSeconds float64 `json:"clock_seconds"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	PeriodSeconds float64 `json:"period_seconds"`
 	Accelerated   bool    `json:"accelerated"`
@@ -175,6 +177,10 @@ type StatsResponse struct {
 	// fit under it (the caps are then floored and the overdraft is
 	// surfaced here instead of being silently hidden).
 	PowerOvercommitW float64 `json:"chip_power_overcommit_w,omitempty"`
+	// Journal is the durability layer's state (absent without -data-dir):
+	// appended record count, newest snapshot, and whether the daemon has
+	// degraded to read-only after a journal failure.
+	Journal *JournalStats `json:"journal,omitempty"`
 }
 
 // ChipStatusResponse is the shared chip's tile-ledger snapshot.

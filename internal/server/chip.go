@@ -131,17 +131,31 @@ func (k *cappedKnob) SetLevel(level int) error {
 
 // bindChip acquires a chip partition for a newly enrolling application
 // and builds its hardware-backed action space. Called with d.mu held.
-func (d *Daemon) bindChip(a *app, spec workload.Spec) error {
+func (d *Daemon) bindChip(a *app, spec workload.Spec, now sim.Time) error {
+	cc := d.cfg.Chip
+	base := angstrom.Config{Cores: 1, CacheKB: cc.CacheOptionsKB[0], VF: 0}
+	share, err := d.makeRoom()
+	if err != nil {
+		return err
+	}
+	return d.bindChipAt(a, spec, base, share, now)
+}
+
+// bindChipAt binds a to a partition acquired at an explicit start
+// configuration, time share, and time. Fresh enrollments start at the
+// base configuration; snapshot restore re-acquires each partition at
+// its recorded placement, which re-sums the tile ledger to its
+// pre-crash value. The action space (and the nominal power the power
+// rebalance prices from) is always built against the canonical base
+// configuration, so a restored app's controller sees the same effect
+// tables an uncrashed one does.
+func (d *Daemon) bindChipAt(a *app, spec workload.Spec, start angstrom.Config, share float64, now sim.Time) error {
 	cc := d.cfg.Chip
 	p := *cc.Params
 	base := angstrom.Config{Cores: 1, CacheKB: cc.CacheOptionsKB[0], VF: 0}
 	inst := workload.NewInstance(spec, seedFor(a.name))
 
-	share, err := d.makeRoom()
-	if err != nil {
-		return err
-	}
-	part, err := d.chip.Acquire(a.name, inst, a.mon, base, share, d.clock.Now())
+	part, err := d.chip.Acquire(a.name, inst, a.mon, start, share, now)
 	if err != nil {
 		return fmt.Errorf("server: %w: %v", ErrPoolExhausted, err)
 	}
@@ -173,7 +187,15 @@ func (d *Daemon) bindChip(a *app, spec workload.Spec) error {
 	}
 	a.part = part
 	a.rt = rt
-	a.nomActiveW = math.Max(part.Metrics().PowerW-p.UncoreW, 1e-6)
+	// Nominal active watts at the *base* configuration (what Acquire
+	// caches for a fresh enrollment; recomputed explicitly so a restore
+	// at a non-base placement prices the power split identically).
+	baseM, err := angstrom.Evaluate(p, spec, base)
+	if err != nil {
+		d.chip.Release(a.name)
+		return err
+	}
+	a.nomActiveW = math.Max(baseM.PowerW-p.UncoreW, 1e-6)
 	minX := math.Inf(1)
 	for _, pt := range space.Points() {
 		minX = math.Min(minX, pt.Effect.PowerX)

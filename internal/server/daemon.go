@@ -36,6 +36,7 @@ import (
 	"angstrom/internal/angstrom"
 	"angstrom/internal/core"
 	"angstrom/internal/heartbeat"
+	"angstrom/internal/journal"
 	"angstrom/internal/sim"
 	"angstrom/internal/workload"
 )
@@ -102,6 +103,36 @@ type Config struct {
 	// and actuated through real hardware knobs (cores, L2, DVFS)
 	// instead of an advisory ladder.
 	Chip *ChipConfig
+	// DataDir, when set, turns on the durability layer (persist.go):
+	// control-plane mutations are journaled to a write-ahead log under
+	// this directory, periodic snapshots compact it, and boot restores
+	// the enrolled fleet from it instead of starting empty.
+	DataDir string
+	// SnapshotEvery is the snapshot interval (default 30s). Negative
+	// disables periodic snapshots — journal-only mode, where recovery
+	// replays the full history and is byte-identical to an uncrashed
+	// daemon.
+	SnapshotEvery time.Duration
+	// JournalFlush bounds how long an asynchronously appended record
+	// (beats, tick marks) stays buffered before the background flusher
+	// makes it durable (default 100ms). Negative disables the flusher;
+	// synchronous commits still flush. Requires DataDir.
+	JournalFlush time.Duration
+	// BeatTimeout, when positive, evicts advisory applications whose
+	// last heartbeat (or enrollment, if they never beat) is older than
+	// this many daemon-clock seconds — their cores, tiles, and power
+	// caps return to the pool and stats.evicted counts them. Chip-backed
+	// apps are exempt: the chip emits their beats, so client silence
+	// does not mean death.
+	BeatTimeout time.Duration
+	// FS overrides the journal's filesystem (default: the real one).
+	// Tests interpose journal.MemFS to inject faults and crash images.
+	FS journal.FS
+
+	// journalBeforeSync, when set, runs before every journal fsync with
+	// the batch about to become durable — the commit-boundary hook the
+	// crash-injection tests image the filesystem from.
+	journalBeforeSync func(batch []byte)
 }
 
 func (c *Config) fill() {
@@ -127,11 +158,16 @@ func (c *Config) fill() {
 
 // app is one enrolled application's serving state.
 type app struct {
-	name  string
-	mgrID int // the Manager's stable handle; indexes the tick's alloc table
-	spec  workload.Spec
-	mon   *heartbeat.Monitor
-	rt    *core.Runtime // stepped only by the owning tick worker
+	name string
+	// seq orders apps by enrollment (assigned under d.mu): snapshots
+	// store the fleet in this order so a restore re-enrolls it exactly
+	// as it was built (manager and contention-pass iteration order).
+	seq    uint64
+	window int // heartbeat averaging window (persisted by snapshots)
+	mgrID  int // the Manager's stable handle; indexes the tick's alloc table
+	spec   workload.Spec
+	mon    *heartbeat.Monitor
+	rt     *core.Runtime // stepped only by the owning tick worker
 
 	// goalEpoch counts SetGoal calls; the tick's quiescence check uses
 	// it to re-decide after a goal change without re-reading the goal.
@@ -180,7 +216,14 @@ type Daemon struct {
 	cfg      Config
 	clock    sim.Nower
 	simClock *AtomicClock // non-nil iff Accel > 0
-	workers  int
+	// swClock indirects the clock when a data directory is configured,
+	// so boot-time journal replay can run under a settable clock and
+	// hand over to the serving clock afterwards (non-nil iff DataDir).
+	swClock *swapClock
+	workers int
+
+	// jd is the durability layer (persist.go), nil without DataDir.
+	jd *durability
 
 	reg  *heartbeat.Registry
 	chip *angstrom.SharedChip // non-nil iff cfg.Chip != nil
@@ -188,10 +231,12 @@ type Daemon struct {
 	dir *directory // sharded app index; lock-free reads
 
 	// mu is the control-plane lock: the (single-threaded) Manager, chip
-	// admission (makeRoom), and enroll/withdraw sequencing. The beat and
-	// status paths never take it.
+	// admission (makeRoom), enroll/withdraw/goal sequencing, and the
+	// journal's snapshot rotation. The beat and status paths never take
+	// it.
 	mu        sync.Mutex
 	mgr       *core.Manager
+	appSeq    uint64 // enrollment counter behind app.seq (under mu)
 	chipCount atomic.Int64
 
 	// The tick's allocation table, indexed by Manager app ID (no string
@@ -216,13 +261,15 @@ type Daemon struct {
 	ticks     atomic.Uint64
 	beats     atomic.Uint64
 	decisions atomic.Uint64
+	evicted   atomic.Uint64 // stale apps withdrawn by BeatTimeout
 	// powerOvercommit is the float64 bits of the watts by which the sum
 	// of floored per-app power caps exceeds the chip budget (0 when the
 	// budget is satisfiable). Written by the tick goroutine, read by
 	// Stats.
 	powerOvercommit atomic.Uint64
-	started         time.Time
+	started time.Time
 
+	running  atomic.Bool // set by Start; Stop only waits when it ran
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
@@ -260,6 +307,14 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 	} else {
 		d.clock = NewWallClock()
 	}
+	if cfg.DataDir != "" {
+		// Indirect the clock so boot-time journal replay can drive every
+		// component that captures it (manager, monitors, runtimes)
+		// through a settable replay clock, then swap the serving clock
+		// back in at the recovered frontier.
+		d.swClock = newSwapClock(d.clock)
+		d.clock = d.swClock
+	}
 	var err error
 	d.mgr, err = core.NewManager(d.clock, cfg.Cores)
 	if err != nil {
@@ -272,6 +327,11 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 		}
 		d.chip, err = angstrom.NewSharedChip(*cfg.Chip.Params, cfg.Chip.Tiles)
 		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.DataDir != "" {
+		if err := d.openJournal(); err != nil {
 			return nil, err
 		}
 	}
@@ -407,7 +467,7 @@ func (d *Daemon) Enroll(req EnrollRequest) error {
 
 	mon := heartbeat.New(d.clock, heartbeat.WithWindow(window))
 	mon.SetPerformanceGoal(req.MinRate, req.MaxRate)
-	a := &app{name: name, spec: spec, mon: mon, enrolledAt: d.clock.Now()}
+	a := &app{name: name, spec: spec, mon: mon, window: window}
 	a.units.Store(1)
 	a.alloc = core.Allocation{App: name, Units: 1, Share: 1}
 
@@ -419,8 +479,17 @@ func (d *Daemon) Enroll(req EnrollRequest) error {
 	if !d.cfg.Oversubscribe && d.mgr.Apps() >= d.cfg.Cores {
 		return fmt.Errorf("server: %w (%d apps on %d cores)", ErrPoolExhausted, d.mgr.Apps(), d.cfg.Cores)
 	}
+	// Journal ahead of the apply (after the cheap pre-checks): a commit
+	// failure degrades the daemon before any state changes, and an
+	// apply failure below replays to the same failure. One timestamp
+	// covers enrollment and chip acquisition so replay reproduces both.
+	now := d.clock.Now()
+	if err := d.journalCommit(record{Op: opEnroll, T: now, Enroll: &req}); err != nil {
+		return err
+	}
+	a.enrolledAt = now
 	if chipBacked {
-		if err := d.bindChip(a, spec); err != nil {
+		if err := d.bindChip(a, spec, now); err != nil {
 			return err
 		}
 	} else {
@@ -450,6 +519,8 @@ func (d *Daemon) Enroll(req EnrollRequest) error {
 		d.unbindChip(a)
 		return err
 	}
+	d.appSeq++
+	a.seq = d.appSeq
 	if !d.dir.insert(name, a) {
 		// Unreachable while enrolls serialize on d.mu, but keep the
 		// bookkeeping honest if that ever changes.
@@ -474,18 +545,34 @@ func (d *Daemon) unbindChip(a *app) {
 }
 
 // Withdraw removes an application and frees its core share.
-func (d *Daemon) Withdraw(name string) error {
+func (d *Daemon) Withdraw(name string) error { return d.withdraw(name, false) }
+
+// withdraw journals and applies one withdrawal. Client withdrawals
+// commit synchronously (refused when degraded); evictions append
+// asynchronously — a lost eviction record replays to a stale app that
+// the next tick simply evicts again.
+func (d *Daemon) withdraw(name string, evict bool) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	a, ok := d.dir.remove(name)
+	a, ok := d.dir.get(name)
 	if !ok {
 		return fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
 	}
+	rec := record{Op: opWithdraw, T: d.clock.Now(), Name: name, Evict: evict}
+	if evict {
+		d.journalAppend(rec)
+	} else if err := d.journalCommit(rec); err != nil {
+		return err
+	}
+	d.dir.remove(name)
 	d.reg.Withdraw(name)
 	d.mgr.RemoveApp(name)
 	d.unbindChip(a)
 	if a.part != nil {
 		d.chipCount.Add(-1)
+	}
+	if evict {
+		d.evicted.Add(1)
 	}
 	return nil
 }
@@ -524,6 +611,9 @@ func (d *Daemon) Beat(name string, count int, distortion float64) error {
 		return fmt.Errorf("server: %q is chip-backed; its beats are chip-emitted", name)
 	}
 	now := d.clock.Now()
+	if d.jd != nil {
+		d.journalAppend(record{Op: opBeat, T: now, Name: name, Count: count, Distortion: distortion})
+	}
 	last := a.mon.LastTime()
 	if count == 1 || last <= 0 || now <= last {
 		// No interval to spread across: single beat, first-ever batch,
@@ -584,6 +674,11 @@ func (d *Daemon) BeatTimestamps(name string, ts []float64, distortion float64) e
 		return fmt.Errorf("server: %q is chip-backed; its beats are chip-emitted", name)
 	}
 	now := d.clock.Now()
+	if d.jd != nil {
+		// The raw client timestamps are journaled: replay recomputes the
+		// same shift from the same `now` (the record's T).
+		d.journalAppend(record{Op: opBeatTS, T: now, Name: name, Timestamps: ts, Distortion: distortion})
+	}
 	shift := now - ts[len(ts)-1]
 	for _, t := range ts[:len(ts)-1] {
 		a.mon.BeatAt(t + shift)
@@ -595,14 +690,22 @@ func (d *Daemon) BeatTimestamps(name string, ts []float64, distortion float64) e
 
 // SetGoal replaces the application's performance goal. Chip-backed apps
 // under a power budget see their budget share re-derived on the next
-// tick.
+// tick. Goal changes serialize on d.mu (they are rare next to beats):
+// journaling them outside the lock could race a snapshot rotation and
+// strand a committed change in a pruned segment.
 func (d *Daemon) SetGoal(name string, minRate, maxRate float64) error {
 	if err := validGoal(minRate, maxRate); err != nil {
 		return err
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	a, ok := d.lookup(name)
 	if !ok {
 		return fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
+	}
+	rec := record{Op: opGoal, T: d.clock.Now(), Name: name, MinRate: minRate, MaxRate: maxRate}
+	if err := d.journalCommit(rec); err != nil {
+		return err
 	}
 	a.mon.SetPerformanceGoal(minRate, maxRate)
 	a.goalEpoch.Add(1)
@@ -624,7 +727,23 @@ func (d *Daemon) Tick() {
 		d.simClock.Advance(d.cfg.Accel)
 	}
 	now := d.clock.Now()
+	d.tickAt(now)
+	// The tick record (the decision epoch) is appended after the tick
+	// ran but before any eviction it triggers, so replay interleaves
+	// tick and eviction withdrawals in live order. Appending is pure
+	// buffering — no I/O on the tick path; the background flusher (or
+	// the next commit) makes it durable.
+	if d.jd != nil {
+		d.journalAppend(record{Op: opTick, T: now})
+	}
+	d.evictStale(now)
+	d.maybeSnapshot()
+}
 
+// tickAt is one decision epoch at time now. Journal replay calls it
+// directly (the clock already set to the recorded time); the live path
+// wraps it with the tick record, eviction, and snapshot phases above.
+func (d *Daemon) tickAt(now sim.Time) {
 	// Re-price cross-partition contention before executing the interval:
 	// this tick's Advance (and every Sense the controllers read) runs at
 	// the degradation implied by the fleet's current configurations.
@@ -745,6 +864,46 @@ func (d *Daemon) Tick() {
 	d.ticks.Add(1)
 }
 
+// evictStale withdraws advisory applications whose last heartbeat (or
+// enrollment, for apps that never beat) is older than BeatTimeout
+// daemon-clock seconds, returning their cores and power share to the
+// pool. Chip-backed apps are exempt — the chip emits their beats, so a
+// silent client does not mean a dead one. Called from the tick
+// goroutine; evictions are journaled as withdraw records so replay
+// reproduces them without re-running the scan.
+func (d *Daemon) evictStale(now sim.Time) {
+	timeout := d.cfg.BeatTimeout.Seconds()
+	if timeout <= 0 {
+		return
+	}
+	var stale []string
+	for i := range d.snapBuf {
+		for _, a := range d.snapBuf[i] {
+			if a.part != nil {
+				continue
+			}
+			last := a.mon.LastTime()
+			a.mu.Lock()
+			if a.enrolledAt > last {
+				last = a.enrolledAt
+			}
+			a.mu.Unlock()
+			if now-last > timeout {
+				stale = append(stale, a.name)
+			}
+		}
+	}
+	// Name order, not shard order: eviction writes journal records, so
+	// a deterministic order keeps replay independent of shard layout.
+	sort.Strings(stale)
+	for _, name := range stale {
+		_ = d.withdraw(name, true) // already-withdrawn races are no-ops
+	}
+}
+
+// Evicted reports how many stale applications BeatTimeout has evicted.
+func (d *Daemon) Evicted() uint64 { return d.evicted.Load() }
+
 // allocFor reads this tick's allocation for a Manager app ID (ok=false
 // when the app was not part of the tick's Step — e.g. enrolled after
 // it, or the Step errored). An ID freed by a withdraw and re-issued to
@@ -815,6 +974,7 @@ func (d *Daemon) decide(a *app, al core.Allocation, hasAlloc bool) {
 // Start launches the ODA loop. It returns immediately; Stop shuts the
 // loop down and waits for it to exit.
 func (d *Daemon) Start() {
+	d.running.Store(true)
 	go func() {
 		defer close(d.done)
 		ticker := time.NewTicker(d.cfg.Period)
@@ -830,10 +990,14 @@ func (d *Daemon) Start() {
 	}()
 }
 
-// Stop halts the ODA loop. Safe to call more than once.
+// Stop halts the ODA loop, waiting for an in-flight tick to finish.
+// Safe to call more than once, and before Start (it then only marks
+// the daemon stopped). Close additionally drains the journal.
 func (d *Daemon) Stop() {
 	d.stopOnce.Do(func() { close(d.stop) })
-	<-d.done
+	if d.running.Load() {
+		<-d.done
+	}
 }
 
 // Status reports one application's serving state.
@@ -974,7 +1138,7 @@ func (d *Daemon) ChipStatus() (ChipStatusResponse, bool) {
 
 // Stats reports daemon-wide counters.
 func (d *Daemon) Stats() StatsResponse {
-	return StatsResponse{
+	st := StatsResponse{
 		Apps:             d.dir.len(),
 		ChipApps:         int(d.chipCount.Load()),
 		Cores:            d.cfg.Cores,
@@ -982,10 +1146,23 @@ func (d *Daemon) Stats() StatsResponse {
 		Ticks:            d.ticks.Load(),
 		Beats:            d.beats.Load(),
 		Decisions:        d.decisions.Load(),
+		Evicted:          d.evicted.Load(),
 		ClockSeconds:     d.clock.Now(),
 		UptimeSeconds:    time.Since(d.started).Seconds(),
 		PeriodSeconds:    d.cfg.Period.Seconds(),
 		Accelerated:      d.simClock != nil,
 		PowerOvercommitW: math.Float64frombits(d.powerOvercommit.Load()),
 	}
+	if jd := d.jd; jd != nil {
+		js := &JournalStats{
+			SnapshotSeq: jd.snapSeq.Load(),
+			Degraded:    jd.degraded.Load(),
+			Error:       jd.reason(),
+		}
+		if jd.w != nil {
+			js.Records = jd.w.Seq()
+		}
+		st.Journal = js
+	}
+	return st
 }

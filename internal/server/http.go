@@ -10,6 +10,7 @@ import (
 // Handler returns the daemon's HTTP/JSON API:
 //
 //	GET    /healthz               liveness
+//	GET    /readyz                readiness (503 until restored + journal healthy)
 //	GET    /v1/stats              daemon counters
 //	GET    /v1/chip               shared-chip ledger (404 unless -chip)
 //	GET    /v1/apps               all application statuses
@@ -22,6 +23,13 @@ func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if ok, reason := d.Ready(); !ok {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "unavailable", "reason": reason})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, d.Stats())
@@ -119,6 +127,8 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrPoolExhausted):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDegraded):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}
