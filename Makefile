@@ -2,8 +2,9 @@
 #
 #   make build   compile every package
 #   make vet     static analysis
+#   make lint    vet + angstromlint (the repo's contract analyzers)
 #   make docs    fail if any internal package lacks a package comment
-#   make test    tier-1 verification (build + vet + docs + full test suite with -race)
+#   make test    tier-1 verification (build + lint + docs + full test suite with -race)
 #   make bench   run all benchmarks with allocation stats into bench.out
 #   make bench-json  bench + record the BENCH_<date>.json trajectory file
 #   make bench-compare  bench + fail on >20% regression of gated
@@ -15,13 +16,19 @@ GO ?= go
 # followed by bench-compare never compares a run against itself.
 OLD_BENCH ?= $(lastword $(sort $(shell git ls-files 'BENCH_*.json')))
 
-.PHONY: build test bench bench-json bench-compare vet docs clean
+.PHONY: build test bench bench-json bench-compare vet lint docs clean
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# angstromlint enforces the repo's own contracts: deterministic scopes,
+# zero-allocation hot paths, journal-before-mutate, and clock
+# discipline (see ARCHITECTURE.md, "Static analysis & contracts").
+lint: vet
+	$(GO) run ./cmd/angstromlint ./...
 
 # Godoc coverage gate: every internal package must carry a package
 # comment (go list's .Doc is the synopsis go doc renders; empty means
@@ -35,7 +42,7 @@ docs:
 
 # -shuffle=on randomizes test order within each package so inter-test
 # ordering dependencies fail loudly instead of lurking.
-test: build vet docs
+test: build lint docs
 	$(GO) test -race -shuffle=on ./...
 
 bench:

@@ -192,17 +192,17 @@ func main() {
 	}
 
 	if *compare != "" {
-		gatesRe, err := regexp.Compile(*gates)
-		if err != nil {
-			log.Fatalf("bad -gates: %v", err)
+		gatesRe, gerr := regexp.Compile(*gates)
+		if gerr != nil {
+			log.Fatalf("bad -gates: %v", gerr)
 		}
-		data, err := os.ReadFile(*compare)
-		if err != nil {
-			log.Fatal(err)
+		data, rerr := os.ReadFile(*compare)
+		if rerr != nil {
+			log.Fatal(rerr)
 		}
 		var old Snapshot
-		if err := json.Unmarshal(data, &old); err != nil {
-			log.Fatalf("parse %s: %v", *compare, err)
+		if uerr := json.Unmarshal(data, &old); uerr != nil {
+			log.Fatalf("parse %s: %v", *compare, uerr)
 		}
 		fmt.Printf("comparing against %s (%s):\n", *compare, old.Date)
 		regs := compareSnapshots(old, snap, gatesRe, *threshold)

@@ -43,7 +43,7 @@ func main() {
 		Trigger: 10_000_000,
 		Queue:   chip.Tiles[0].Queue,
 	}
-	if err := chip.Tiles[0].Probes.Attach(probe); err != nil {
+	if err = chip.Tiles[0].Probes.Attach(probe); err != nil {
 		log.Fatal(err)
 	}
 

@@ -180,7 +180,9 @@ func main() {
 	var wg sync.WaitGroup
 	for i := 0; i < *apps; i++ {
 		wg.Add(1)
-		go func(i int) {
+		// Go 1.22 loop variables are per-iteration: capture i directly
+		// instead of shadowing it with a parameter.
+		go func() {
 			defer wg.Done()
 			name := fmt.Sprintf("app-%04d", i)
 			goal := *rate
@@ -211,7 +213,7 @@ func main() {
 				}
 				time.Sleep(interval)
 			}
-		}(i)
+		}()
 	}
 	wg.Wait()
 

@@ -42,7 +42,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := pattern(plain); err != nil {
+	if err = pattern(plain); err != nil {
 		log.Fatal(err)
 	}
 	report("baseline (XY, fixed links)", plain)
@@ -53,7 +53,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := pattern(evc); err != nil {
+	if err = pattern(evc); err != nil {
 		log.Fatal(err)
 	}
 	report("+EVC (router bypass)", evc)

@@ -10,6 +10,13 @@
 // decision-making cheap (§4.3), and an interval chip simulator that
 // produces performance and power for any configuration of a workload —
 // the substitute for the Graphite testbed of §5.3.
+//
+// The chip model executes inside journal replay and the tick's
+// transcript-equality tests: the whole package is a deterministic
+// scope (time flows in through sim.Time arguments, partitions iterate
+// in acquisition order, never map order).
+//
+//angstrom:deterministic
 package angstrom
 
 import "fmt"

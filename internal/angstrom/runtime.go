@@ -234,9 +234,9 @@ func (ch *Chip) BuildActuators(coreOptions []int, cacheOptionsKB []int) ([]*actu
 				nominal = len(settings)
 				eff = actuator.Nominal()
 			} else {
-				m, err := Evaluate(ch.p, spec, cfg)
-				if err != nil {
-					return nil, 0, err
+				m, merr := Evaluate(ch.p, spec, cfg)
+				if merr != nil {
+					return nil, 0, merr
 				}
 				eff = actuator.Effect{
 					Speedup: m.HeartRate / baseM.HeartRate,

@@ -163,7 +163,11 @@ func VerifyCurve(scaling func(int) float64, total int) (peak int, unimodal bool)
 // AddApp enrolls an application: its monitor (with a declared
 // performance goal) and its resource-scaling curve. Every application
 // starts with one unit. Without oversubscription, enrollment beyond one
-// application per resource unit is refused.
+// application per resource unit is refused. Fleet membership is
+// journaled daemon state: inside internal/server only persist.go
+// writers may call it.
+//
+//angstrom:journaled mutator
 func (m *Manager) AddApp(name string, mon *heartbeat.Monitor, scaling func(int) float64) error {
 	if scaling == nil {
 		return fmt.Errorf("core: nil scaling for %q", name)
@@ -178,6 +182,8 @@ func (m *Manager) AddApp(name string, mon *heartbeat.Monitor, scaling func(int) 
 // O(total) VerifyCurve scan only needs to run once per curve, not once
 // per enrollment. The shape must come from VerifyCurve over the same
 // curve and total; a wrong shape silently degrades demand inversion.
+//
+//angstrom:journaled mutator
 func (m *Manager) AddAppWithShape(name string, mon *heartbeat.Monitor, scaling func(int) float64, peak int, unimodal bool) error {
 	if mon == nil || scaling == nil {
 		return fmt.Errorf("core: nil monitor or scaling for %q", name)
@@ -228,7 +234,10 @@ func (m *Manager) AppID(name string) (int, bool) {
 // rate when estimating the base speed, and inflates the application's
 // unit demand so the water-filling pass provisions for *contended*
 // throughput rather than the per-app projection. Unknown names and
-// out-of-range factors are ignored.
+// out-of-range factors are ignored. Interference feeds the journaled
+// tick's water-fill, so inside the daemon only tick writers call it.
+//
+//angstrom:journaled mutator
 func (m *Manager) SetInterference(name string, factor float64) {
 	if factor <= 0 || factor > 1 {
 		return
@@ -240,6 +249,8 @@ func (m *Manager) SetInterference(name string, factor float64) {
 
 // RemoveApp withdraws an application (e.g. at exit), freeing its share
 // for the next Step. It reports whether the application was managed.
+//
+//angstrom:journaled mutator
 func (m *Manager) RemoveApp(name string) bool {
 	if _, ok := m.byName[name]; !ok {
 		return false
@@ -281,6 +292,10 @@ type Allocation struct {
 // since the previous Step are re-priced; when no water-fill key changed
 // the previous partition stands and the walk is skipped entirely. The
 // returned slice is valid until the next Step (the buffer is reused).
+// Step advances journaled fleet state (allocations, demand caches), so
+// inside the daemon only the tick writer calls it.
+//
+//angstrom:journaled mutator
 func (m *Manager) Step() ([]Allocation, error) {
 	if len(m.apps) == 0 {
 		return nil, fmt.Errorf("core: no applications enrolled")

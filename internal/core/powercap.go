@@ -23,7 +23,11 @@ import (
 
 // SetPowerCap bounds the schedule's power multiplier: the translator
 // will only use configurations whose predicted power is at most capX
-// times nominal. A cap below the cheapest candidate is rejected.
+// times nominal. A cap below the cheapest candidate is rejected. Caps
+// derive from the journaled tick epoch, so inside the daemon only tick
+// writers (rebalancePowerCaps) may call this.
+//
+//angstrom:journaled mutator
 func (r *Runtime) SetPowerCap(capX float64) error {
 	if capX <= 0 {
 		return fmt.Errorf("core: non-positive power cap %g", capX)

@@ -3,6 +3,13 @@
 // adaptive systems compose badly), Figure 3 (SEEC vs. baselines on the
 // Linux/x86 server), Figure 4 (projection onto a 256-core Angstrom), and
 // the in-text numbers of §5.3.
+//
+// Every figure must be bit-identical across runs and worker counts
+// (serial == parallel, pinned by the determinism tests), so the whole
+// package is a deterministic scope: all randomness is seeded from the
+// configuration, all concurrency goes through the Sweep worker pool.
+//
+//angstrom:deterministic
 package experiment
 
 import (

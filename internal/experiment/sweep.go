@@ -49,6 +49,7 @@ func Sweep[T, R any](items []T, workers int, fn func(idx int, item T) (R, error)
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:allow determinism this IS the sanctioned sweep worker pool: results land at out[i] by job index, so merge order is schedule-independent
 		go func() {
 			defer wg.Done()
 			for {

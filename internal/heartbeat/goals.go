@@ -57,7 +57,11 @@ type EnergyGoal struct {
 }
 
 // SetPerformanceGoal declares a target heart-rate band. It panics on an
-// inverted band, which is always a caller bug.
+// inverted band, which is always a caller bug. Goal changes are part of
+// the daemon's replayed state, so inside internal/server only journaling
+// writers may call it.
+//
+//angstrom:journaled mutator
 func (m *Monitor) SetPerformanceGoal(minRate, maxRate float64) {
 	if maxRate > 0 && maxRate < minRate {
 		panic(fmt.Sprintf("heartbeat: inverted rate band [%g, %g]", minRate, maxRate))

@@ -21,7 +21,11 @@ func NewRegistry() *Registry {
 }
 
 // Enroll registers an application's monitor under name. Enrolling the
-// same name twice is a caller bug and returns an error.
+// same name twice is a caller bug and returns an error. Enrollment is
+// journaled daemon state: in internal/server only persist.go writers
+// may call it.
+//
+//angstrom:journaled mutator
 func (r *Registry) Enroll(name string, m *Monitor) error {
 	if m == nil {
 		return fmt.Errorf("heartbeat: enroll %q with nil monitor", name)
@@ -35,7 +39,10 @@ func (r *Registry) Enroll(name string, m *Monitor) error {
 	return nil
 }
 
-// Withdraw removes an application, e.g. at exit.
+// Withdraw removes an application, e.g. at exit. Like Enroll, a
+// journaled mutation when it happens inside the daemon.
+//
+//angstrom:journaled mutator
 func (r *Registry) Withdraw(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()

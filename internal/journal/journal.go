@@ -49,6 +49,11 @@ const (
 )
 
 // AppendFrame appends one framed payload to dst and returns it.
+//
+// This is the journal's 0-alloc gated path (BenchmarkJournalAppend):
+// every live mutation and every beat frames a record through it.
+//
+//angstrom:hotpath
 func AppendFrame(dst, payload []byte) []byte {
 	// The header is built in place in dst (not a local array) so nothing
 	// escapes into a per-call heap allocation: appending a record to a
@@ -216,8 +221,11 @@ func (w *Writer) Seq() uint64 {
 // Append buffers one record and returns its sequence number without
 // touching the disk: the record becomes durable with the next commit or
 // interval flush. This is the hot-path entry — no I/O, no fsync.
+//
+//angstrom:hotpath
 func (w *Writer) Append(payload []byte) (uint64, error) {
 	if len(payload) > MaxFrame {
+		//lint:allow hotpath cold branch: records larger than MaxFrame are refused, never served
 		return 0, fmt.Errorf("journal: %d-byte record exceeds %d", len(payload), MaxFrame)
 	}
 	w.mu.Lock()

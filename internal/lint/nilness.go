@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nilness reports dereferences of values the surrounding control flow
+// has just proven nil, and nil checks that can never fire. It is a
+// deliberately conservative, syntax-directed stand-in for the x/tools
+// SSA-based `nilness` pass (not vendorable into this offline build):
+// it only reasons about branches guarded by an explicit `x == nil` /
+// `x != nil` comparison of a local identifier, and abandons a fact the
+// moment the identifier is reassigned — so every report is a real
+// contradiction, at the cost of missing the deeper flow-dependent
+// cases the SSA pass would catch.
+var Nilness = &Analyzer{
+	Name: "nilness",
+	Doc:  "flag dereferences of provably nil values and nil checks that cannot fire",
+	Run:  runNilness,
+}
+
+func runNilness(pass *Pass) error {
+	info := pass.Pkg.Info
+	funcDecls(pass.Pkg, func(decl *ast.FuncDecl, obj *types.Func, key string) {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			id, eq := nilComparison(info, ifs.Cond)
+			if id == nil {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if eq {
+				// x == nil: x is nil in the then-branch.
+				checkNilUses(pass, info, obj, id.Name, ifs.Body)
+			} else if ifs.Else != nil {
+				// x != nil: x is nil in the else-branch.
+				checkNilUses(pass, info, obj, id.Name, ifs.Else)
+			}
+			return true
+		})
+		checkImpossibleNil(pass, info, decl.Body)
+	})
+	return nil
+}
+
+// nilComparison matches `x == nil` / `nil == x` (eq=true) and
+// `x != nil` / `nil != x` (eq=false) where x is a plain identifier of
+// a nilable type.
+func nilComparison(info *types.Info, cond ast.Expr) (*ast.Ident, bool) {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	if isNil(info, x) {
+		x, y = y, x
+	}
+	if !isNil(info, y) {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	return id, b.Op == token.EQL
+}
+
+// checkNilUses flags dereferences of obj inside body, stopping at the
+// first reassignment (or address-taking, which may feed a setter).
+func checkNilUses(pass *Pass, info *types.Info, obj types.Object, name string, body ast.Stmt) {
+	reassigned := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if lid, ok := ast.Unparen(lhs).(*ast.Ident); ok && info.Uses[lid] == obj {
+					if reassigned == token.NoPos || as.Pos() < reassigned {
+						reassigned = as.Pos()
+					}
+				}
+			}
+		}
+		if ue, ok := n.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			if lid, ok := ast.Unparen(ue.X).(*ast.Ident); ok && info.Uses[lid] == obj {
+				if reassigned == token.NoPos || ue.Pos() < reassigned {
+					reassigned = ue.Pos()
+				}
+			}
+		}
+		return true
+	})
+	dead := func(pos token.Pos) bool { return reassigned != token.NoPos && pos >= reassigned }
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StarExpr:
+			if usesObj(info, n.X, obj) && !dead(n.Pos()) {
+				pass.Reportf(n.Pos(), "nil dereference: %s is provably nil on this branch", name)
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[n]; ok && usesObj(info, n.X, obj) && !dead(n.Pos()) {
+				// Selection through a nil pointer panics; method values
+				// with pointer receivers only panic when they deref, so
+				// restrict to field selections and embedded derefs.
+				if sel.Kind() == types.FieldVal && derefs(sel) {
+					pass.Reportf(n.Pos(), "nil dereference: field selection on %s, which is provably nil on this branch", name)
+				}
+			}
+		case *ast.IndexExpr:
+			if usesObj(info, n.X, obj) && !dead(n.Pos()) {
+				if t := info.TypeOf(n.X); t != nil {
+					switch t.Underlying().(type) {
+					case *types.Slice:
+						pass.Reportf(n.Pos(), "index of %s, a provably nil slice on this branch: always out of range", name)
+					case *types.Pointer:
+						pass.Reportf(n.Pos(), "nil dereference: index through %s, which is provably nil on this branch", name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && info.Uses[id] == obj && !dead(n.Pos()) {
+				pass.Reportf(n.Pos(), "call of %s, a provably nil function value on this branch", name)
+			}
+		}
+		return true
+	})
+}
+
+func usesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// derefs reports whether a field selection dereferences a pointer at
+// its first hop (x.f with x a pointer).
+func derefs(sel *types.Selection) bool {
+	_, ok := sel.Recv().Underlying().(*types.Pointer)
+	return ok
+}
+
+// checkImpossibleNil flags `if x == nil` immediately after x was
+// assigned a freshly allocated value (&T{}, new, make): the check can
+// never fire and usually marks an error-handling slip.
+func checkImpossibleNil(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i := 1; i < len(block.List); i++ {
+			ifs, ok := block.List[i].(*ast.IfStmt)
+			if !ok || ifs.Init != nil {
+				continue
+			}
+			id, eq := nilComparison(info, ifs.Cond)
+			if id == nil || !eq {
+				continue
+			}
+			as, ok := block.List[i-1].(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			lid, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := info.Defs[lid]
+			if obj == nil {
+				obj = info.Uses[lid]
+			}
+			if obj == nil || info.Uses[id] != obj {
+				continue
+			}
+			if freshlyAllocated(info, as.Rhs[0]) {
+				pass.Reportf(ifs.Cond.Pos(), "%s was just assigned a freshly allocated value: this nil check can never fire", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+func freshlyAllocated(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		b, ok := info.Uses[id].(*types.Builtin)
+		return ok && (b.Name() == "new" || b.Name() == "make")
+	}
+	return false
+}

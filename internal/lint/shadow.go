@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shadow reports declarations that shadow an outer variable which is
+// still used after the inner scope ends — the classic lost-write:
+//
+//	err := f()
+//	if cond {
+//		err := g() // shadows; the check below reads f's err
+//	}
+//	if err != nil { ... }
+//
+// It is a self-contained reimplementation of the x/tools `shadow` pass
+// (which go vet does not run by default, and which this offline build
+// cannot vendor), using the same heuristic: a shadowing declaration is
+// only reported when the shadowed variable is read again after the
+// shadowing scope closes, so the ubiquitous and harmless
+// `if err := f(); err != nil` idiom stays quiet.
+var Shadow = &Analyzer{
+	Name: "shadow",
+	Doc:  "flag declarations that shadow an outer variable still used after the inner scope ends",
+	Run:  runShadow,
+}
+
+func runShadow(pass *Pass) error {
+	info := pass.Pkg.Info
+	for id, obj := range info.Defs {
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || id.Name == "_" {
+			continue
+		}
+		inner := v.Parent()
+		if inner == nil || inner.Parent() == types.Universe {
+			continue // package-level declarations shadow nothing local
+		}
+		// Look the name up starting from the scope enclosing the
+		// declaration's own scope.
+		_, outerObj := inner.Parent().LookupParent(id.Name, id.Pos())
+		outer, ok := outerObj.(*types.Var)
+		if !ok || outer == v || outer.IsField() {
+			continue
+		}
+		// Only same-function shadowing: shadowing a package-level var
+		// is deliberate style in table-driven code, and x/tools skips
+		// it too unless asked for strict mode.
+		if outer.Parent() == nil || outer.Parent().Parent() == types.Universe {
+			continue
+		}
+		// The shadow matters only if the outer variable is read after
+		// the inner scope has ended. A later reassignment alone is
+		// harmless: the write cannot observe the stale value.
+		if !readAfter(pass.Pkg, outer, inner.End()) {
+			continue
+		}
+		pass.Reportf(id.Pos(), "declaration of %q shadows declaration at line %d, and the shadowed variable is used after this scope ends",
+			id.Name, pass.Fset.Position(outer.Pos()).Line)
+	}
+	return nil
+}
+
+func readAfter(pkg *Package, obj types.Object, end token.Pos) bool {
+	writes := writePositions(pkg, obj)
+	for id, o := range pkg.Info.Uses {
+		if o == obj && id.Pos() > end && !writes[id.Pos()] {
+			return true
+		}
+	}
+	return false
+}
+
+// writePositions collects the positions where obj appears as a plain
+// assignment target (x = ... or a redeclaring x in a :=): those uses
+// write the variable without reading it.
+func writePositions(pkg *Package, obj types.Object) map[token.Pos]bool {
+	writes := make(map[token.Pos]bool)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+					writes[id.Pos()] = true
+				}
+			}
+			return true
+		})
+	}
+	return writes
+}

@@ -1,0 +1,40 @@
+// Package clockd seeds clock-discipline violations for the analyzer
+// tests: wall-clock reads reachable from a deterministic scope through
+// plain calls, but not through the sanctioned clock interface.
+package clockd
+
+import "time"
+
+type nower interface {
+	Now() float64
+}
+
+type record struct {
+	at   float64
+	name string
+}
+
+//angstrom:deterministic
+func replay(c nower, names []string) []record {
+	out := make([]record, 0, len(names))
+	for _, n := range names {
+		out = append(out, helper(c, n))
+	}
+	return out
+}
+
+func helper(c nower, name string) record {
+	// Calling through the nower interface is the sanctioned boundary:
+	// the walk must stop here rather than chasing implementations.
+	return record{at: c.Now() + stamp(), name: name}
+}
+
+func stamp() float64 {
+	return float64(time.Now().UnixNano()) // want "time.Now in clockd.stamp, which is reachable from deterministic scope"
+}
+
+// free is not reachable from any deterministic scope, so its wall-clock
+// read is fine.
+func free() time.Duration {
+	return time.Since(time.Unix(0, 0))
+}

@@ -1,0 +1,52 @@
+// Package determ seeds determinism violations for the analyzer tests.
+package determ
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+//angstrom:deterministic
+func bad(byName map[string]float64) float64 {
+	start := time.Now() // want "time.Now in deterministic scope"
+	_ = time.Since(start) // want "time.Since in deterministic scope"
+	jitter := rand.Float64() // want "rand.Float64 draws from the global unseeded source"
+	total := jitter
+	go func() { // want "goroutine spawned in deterministic scope"
+		total++
+	}()
+	for _, v := range byName { // want "map iteration order is randomized"
+		total += v
+	}
+	return total
+}
+
+//angstrom:deterministic
+func good(byName map[string]float64, rng *rand.Rand) float64 {
+	// The collect-then-sort idiom is the sanctioned way to drain a map.
+	keys := make([]string, 0, len(byName))
+	for k := range byName {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := rng.Float64()
+	for _, k := range keys {
+		total += byName[k]
+	}
+	return total
+}
+
+//angstrom:deterministic
+func allowed() float64 {
+	//lint:allow determinism this fixture deliberately reads the wall clock to seed the scenario
+	t := time.Now()
+	return float64(t.Unix())
+}
+
+// unannotated is outside every deterministic scope: nothing here may be
+// flagged.
+func unannotated() float64 {
+	go func() {}()
+	return rand.Float64() + float64(time.Now().Unix())
+}

@@ -1,0 +1,68 @@
+// Package hot seeds hot-path allocation violations for the analyzer
+// tests.
+package hot
+
+import (
+	"errors"
+	"fmt"
+)
+
+type ring struct {
+	buf []int
+	n   int
+}
+
+func sink(x any) { _ = x }
+
+//angstrom:hotpath
+func badPush(v int, name string) (string, error) {
+	if v < 0 {
+		return "", errors.New("negative") // want "errors.New allocates per call"
+	}
+	msg := fmt.Sprintf("push %d", v) // want "fmt.Sprintf allocates per call"
+	local := []int{}                 // want "slice literal allocates on the hot path"
+	local = append(local, v)         // want "append to local, a slice born in this function"
+	_ = local
+	fn := func() int { return v } // want "closure captures v"
+	_ = fn()
+	return msg + name, nil // want "string concatenation allocates on the hot path"
+}
+
+//angstrom:hotpath
+func badBox(v int) any {
+	sink(v)  // want "passing int as interface .* boxes the value"
+	return v // want "returning int as interface .* boxes the value"
+}
+
+//angstrom:hotpath
+func badGrow(r *ring) {
+	r.buf = make([]int, 64) // want "make allocates on the hot path"
+}
+
+// goodPush writes into a caller-owned ring buffer: zero allocations.
+//
+//angstrom:hotpath
+func goodPush(r *ring, v int) {
+	r.buf[r.n%len(r.buf)] = v
+	r.n++
+}
+
+// fill reuses the caller's backing array via the reslice idiom: the
+// append target was not born here, so growth is the caller's bargain.
+//
+//angstrom:hotpath
+func fill(buf []int, n int) []int {
+	out := buf[:0]
+	for v := 0; v < n; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+// slowPath proves the doc-comment waiver covers the whole function.
+//
+//lint:allow hotpath cold refusal path, formatting cost is irrelevant here
+//angstrom:hotpath
+func slowPath(v int) string {
+	return fmt.Sprintf("refused %d", v)
+}

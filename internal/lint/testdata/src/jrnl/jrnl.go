@@ -1,0 +1,41 @@
+// Package jrnl seeds journal-before-mutate violations for the analyzer
+// tests.
+package jrnl
+
+type store struct {
+	apps    map[string]int
+	journal []string
+}
+
+// insert mutates journaled state.
+//
+//angstrom:journaled mutator
+func (s *store) insert(name string) {
+	s.apps[name] = len(s.apps)
+}
+
+// logAndInsert is the sanctioned path: journal first, then mutate.
+//
+//angstrom:journaled writer
+func (s *store) logAndInsert(name string) {
+	s.journal = append(s.journal, name)
+	s.insert(name)
+}
+
+// sneak mutates without journaling.
+func (s *store) sneak(name string) {
+	s.insert(name) // want "call to journaled mutator insert outside a journaling writer"
+}
+
+// sneakDeferred hides the mutation inside a closure: the call still
+// belongs to sneakDeferred, which is not a writer.
+func (s *store) sneakDeferred(name string) func() {
+	return func() {
+		s.insert(name) // want "call to journaled mutator insert outside a journaling writer"
+	}
+}
+
+// readOnly touches nothing journaled.
+func (s *store) readOnly(name string) int {
+	return s.apps[name]
+}

@@ -1,0 +1,20 @@
+// Package jrnlfree has a mutator annotation but no writer: the
+// journalbefore check must stay inactive, because there is no journaling
+// discipline here to defend (e.g. a client-side cache of the same
+// type).
+package jrnlfree
+
+type cache struct {
+	vals map[string]int
+}
+
+//angstrom:journaled mutator
+func (c *cache) insert(name string) {
+	c.vals[name] = len(c.vals)
+}
+
+// caller may call the mutator freely: no writer exists in this package,
+// so nothing here is expected to be flagged.
+func (c *cache) caller(name string) {
+	c.insert(name)
+}

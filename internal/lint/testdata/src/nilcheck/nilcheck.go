@@ -1,0 +1,48 @@
+// Package nilcheck seeds nilness violations for the analyzer tests.
+package nilcheck
+
+type box struct{ v int }
+
+// derefOnNilBranch dereferences p on the branch where it is provably
+// nil.
+func derefOnNilBranch(p *box) int {
+	if p == nil {
+		return p.v // want "nil dereference: field selection on p"
+	}
+	return p.v
+}
+
+// starOnNilBranch does the same through an explicit pointer deref.
+func starOnNilBranch(p *int) int {
+	if p == nil {
+		return *p // want "nil dereference: p is provably nil on this branch"
+	}
+	return *p
+}
+
+// impossibleCheck guards a value that was just allocated: the check can
+// never fire.
+func impossibleCheck() *box {
+	b := &box{v: 1}
+	if b == nil { // want "b was just assigned a freshly allocated value"
+		return nil
+	}
+	return b
+}
+
+// guarded is the correct shape: deref only on the non-nil branch.
+func guarded(p *box) int {
+	if p != nil {
+		return p.v
+	}
+	return 0
+}
+
+// reassigned kills the nil fact before the deref: no finding.
+func reassigned(p *box) int {
+	if p == nil {
+		p = &box{}
+		return p.v
+	}
+	return p.v
+}

@@ -1,0 +1,39 @@
+// Package shadowed seeds shadow violations for the analyzer tests.
+package shadowed
+
+func first() error       { return nil }
+func second(v int) error { _ = v; return nil }
+
+// lostWrite re-declares err inside the loop, then returns the stale
+// outer err: the classic lost-error bug the analyzer exists to catch.
+func lostWrite(vals []int) error {
+	err := first()
+	for _, v := range vals {
+		if v > 0 {
+			err := second(v) // want "declaration of \"err\" shadows declaration at line"
+			_ = err
+		}
+	}
+	return err
+}
+
+// quiet uses the idiomatic if-scoped err: there is no outer err to
+// shadow, so nothing may be flagged.
+func quiet() error {
+	if err := second(1); err != nil {
+		return err
+	}
+	return nil
+}
+
+// harmless shadows x, but the outer x is never read after the inner
+// scope ends, so the heuristic stays silent.
+func harmless(vals []int) int {
+	x := 0
+	_ = x
+	for _, v := range vals {
+		x := v * 2
+		_ = x
+	}
+	return len(vals)
+}

@@ -130,7 +130,11 @@ func (k *cappedKnob) SetLevel(level int) error {
 }
 
 // bindChip acquires a chip partition for a newly enrolling application
-// and builds its hardware-backed action space. Called with d.mu held.
+// and builds its hardware-backed action space. Called with d.mu held,
+// only from the Enroll writer (the enrollment record covers the
+// acquisition).
+//
+//angstrom:journaled writer
 func (d *Daemon) bindChip(a *app, spec workload.Spec, now sim.Time) error {
 	cc := d.cfg.Chip
 	base := angstrom.Config{Cores: 1, CacheKB: cc.CacheOptionsKB[0], VF: 0}
@@ -148,7 +152,10 @@ func (d *Daemon) bindChip(a *app, spec workload.Spec, now sim.Time) error {
 // pre-crash value. The action space (and the nominal power the power
 // rebalance prices from) is always built against the canonical base
 // configuration, so a restored app's controller sees the same effect
-// tables an uncrashed one does.
+// tables an uncrashed one does. Reached only from journaling writers
+// (Enroll live, restoreApp on recovery).
+//
+//angstrom:journaled writer
 func (d *Daemon) bindChipAt(a *app, spec workload.Spec, start angstrom.Config, share float64, now sim.Time) error {
 	cc := d.cfg.Chip
 	p := *cc.Params
@@ -209,7 +216,11 @@ func (d *Daemon) bindChipAt(a *app, spec workload.Spec, start angstrom.Config, s
 // one; otherwise (oversubscribed fleet) every existing partition is
 // shrunk proportionally toward the new fair share so the newcomer fits.
 // Called with d.mu held (which serializes it against the tick's share
-// pass); the incumbent scan walks the sharded directory.
+// pass); the incumbent scan walks the sharded directory. Reached only
+// from the Enroll writer: the incumbent shrinks it applies are covered
+// by the enrollment record (replay re-runs the same shrink).
+//
+//angstrom:journaled writer
 func (d *Daemon) makeRoom() (float64, error) {
 	tiles := float64(d.chip.Tiles())
 	parts, used := d.chip.Usage()
@@ -293,10 +304,10 @@ func buildChipSpace(p angstrom.Params, spec workload.Spec, base angstrom.Config,
 		return nil, err
 	}
 	baseActive := math.Max(baseM.PowerW-p.UncoreW, 1e-9)
-	effect := func(cfg angstrom.Config) (speedup, power float64, err error) {
-		m, err := angstrom.Evaluate(p, spec, cfg)
-		if err != nil {
-			return 0, 0, err
+	effect := func(cfg angstrom.Config) (speedup, power float64, _ error) {
+		m, merr := angstrom.Evaluate(p, spec, cfg)
+		if merr != nil {
+			return 0, 0, merr
 		}
 		return m.HeartRate / baseM.HeartRate, math.Max(m.PowerW-p.UncoreW, 1e-9) / baseActive, nil
 	}
@@ -311,9 +322,9 @@ func buildChipSpace(p angstrom.Params, spec workload.Spec, base angstrom.Config,
 				speed[i], power[i] = 1, 1
 				continue
 			}
-			var err error
-			if speed[i], power[i], err = effect(cfgAt(i)); err != nil {
-				return nil, err
+			var eerr error
+			if speed[i], power[i], eerr = effect(cfgAt(i)); eerr != nil {
+				return nil, eerr
 			}
 		}
 		return actuator.FromKnob(k, labels, speed, power, delay, actuator.GlobalScope)
@@ -433,7 +444,10 @@ func settleConfig(dec core.Decision) actuator.Config {
 // even the floors alone exceed the budget do the summed caps overrun
 // it; that overdraft is surfaced in /v1/stats as PowerOvercommitW
 // rather than silently exceeding the budget. Called from the tick
-// goroutine, which owns every Runtime.
+// goroutine, which owns every Runtime; the opTick record journals the
+// epoch, so the caps it applies replay deterministically.
+//
+//angstrom:journaled writer
 func (d *Daemon) rebalancePowerCaps(chipApps []*app) {
 	if d.cfg.Chip == nil || len(chipApps) == 0 || d.cfg.Chip.PowerBudgetW <= 0 {
 		// No caps to sum: clear any overcommit left by a previous fleet

@@ -24,7 +24,13 @@ func NewWallClock() *WallClock { return &WallClock{epoch: time.Now()} }
 // NewWallClockAt starts a wall clock at start: a recovered daemon
 // resumes its journaled timeline instead of rewinding to zero (which
 // would run every monitor frontier and partition backwards).
+//
+// restore calls this at the very end of replay to hand the timeline
+// over to real time — the time.Now here IS the replay/serving boundary,
+// after every journaled record has already been re-executed, so it can
+// never feed a replayed computation.
 func NewWallClockAt(start sim.Time) *WallClock {
+	//lint:allow clockdiscipline the serving-clock handover after replay completes; nothing replayed reads it
 	return &WallClock{epoch: time.Now(), base: start}
 }
 

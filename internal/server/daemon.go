@@ -322,7 +322,7 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 	}
 	d.mgr.SetOversubscription(cfg.Oversubscribe)
 	if cfg.Chip != nil {
-		if err := cfg.Chip.validate(); err != nil {
+		if err = cfg.Chip.validate(); err != nil {
 			return nil, err
 		}
 		d.chip, err = angstrom.NewSharedChip(*cfg.Chip.Params, cfg.Chip.Tiles)
@@ -425,6 +425,12 @@ func validGoal(minRate, maxRate float64) error {
 // stall both decision layers (core.Runtime and core.Manager refuse to
 // step without one). In chip-backed mode the application is bound to a
 // partition of the shared chip unless it asks for advisory mode.
+//
+// Enroll is a journaling writer: it commits the record ahead of every
+// mutation, and replay re-enters it to rebuild the fleet.
+//
+//angstrom:journaled writer
+//angstrom:deterministic
 func (d *Daemon) Enroll(req EnrollRequest) error {
 	// The name is an URL path segment and the registry key; accept only
 	// names that round-trip unchanged (no whitespace, no separators) so
@@ -538,6 +544,10 @@ func (d *Daemon) Enroll(req EnrollRequest) error {
 // unbindChip releases an app's chip partition, if any. The pointer is
 // left in place (tick workers may hold a snapshot of the app); the
 // released partition turns further actuation into clean errors.
+// Reached only from journaling writers (Enroll rollback, withdraw), so
+// the release it applies is always covered by their committed record.
+//
+//angstrom:journaled writer
 func (d *Daemon) unbindChip(a *app) {
 	if a.part != nil {
 		d.chip.Release(a.name)
@@ -551,6 +561,9 @@ func (d *Daemon) Withdraw(name string) error { return d.withdraw(name, false) }
 // commit synchronously (refused when degraded); evictions append
 // asynchronously — a lost eviction record replays to a stale app that
 // the next tick simply evicts again.
+//
+//angstrom:journaled writer
+//angstrom:deterministic
 func (d *Daemon) withdraw(name string, evict bool) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -693,6 +706,9 @@ func (d *Daemon) BeatTimestamps(name string, ts []float64, distortion float64) e
 // tick. Goal changes serialize on d.mu (they are rare next to beats):
 // journaling them outside the lock could race a snapshot rotation and
 // strand a committed change in a pruned segment.
+//
+//angstrom:journaled writer
+//angstrom:deterministic
 func (d *Daemon) SetGoal(name string, minRate, maxRate float64) error {
 	if err := validGoal(minRate, maxRate); err != nil {
 		return err
@@ -743,6 +759,12 @@ func (d *Daemon) Tick() {
 // tickAt is one decision epoch at time now. Journal replay calls it
 // directly (the clock already set to the recorded time); the live path
 // wraps it with the tick record, eviction, and snapshot phases above.
+// Tick state is journaled by the opTick record, so this is the writer
+// for every per-tick mutation (interference pricing, Manager.Step,
+// partition shares).
+//
+//angstrom:journaled writer
+//angstrom:deterministic
 func (d *Daemon) tickAt(now sim.Time) {
 	// Re-price cross-partition contention before executing the interval:
 	// this tick's Advance (and every Sense the controllers read) runs at

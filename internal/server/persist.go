@@ -285,7 +285,7 @@ func (d *Daemon) openJournal() error {
 	jd.truncatedBytes = st.TruncatedBytes
 	jd.droppedSegments = st.DroppedSegments
 	d.jd = jd
-	if err := d.restore(st); err != nil {
+	if err = d.restore(st); err != nil {
 		return err
 	}
 	flush := d.cfg.JournalFlush
@@ -312,6 +312,14 @@ func (d *Daemon) openJournal() error {
 // the public mutation paths under a settable replay clock. When replay
 // finishes, the serving clock is swapped in at the recovered timeline's
 // frontier so time continues instead of rewinding.
+//
+// restore is the root of the replay scope: everything it reaches must
+// be deterministic and every mutation it applies is covered by the
+// recovered journal, so it is both a deterministic scope and the
+// journaling writer the mutators below it answer to.
+//
+//angstrom:deterministic
+//angstrom:journaled writer
 func (d *Daemon) restore(st *journal.State) error {
 	jd := d.jd
 	if st.Snapshot == nil && len(st.Records) == 0 {
@@ -370,6 +378,9 @@ func (d *Daemon) restore(st *journal.State) error {
 // deliberately discarded: a mutation that failed live (duplicate
 // enroll, exhausted pool) was journaled ahead of its apply and fails
 // identically here, which is exactly the history being reproduced.
+//
+//angstrom:deterministic
+//angstrom:journaled writer
 func (d *Daemon) replayRecord(rec record) {
 	switch rec.Op {
 	case opEnroll:
@@ -396,6 +407,9 @@ func (d *Daemon) replayRecord(rec record) {
 // at its recorded configuration and time share, so the ledger re-sums
 // to its pre-crash value. Controller learning restores fresh. Runs
 // single-goroutine during NewDaemon.
+//
+//angstrom:deterministic
+//angstrom:journaled writer
 func (d *Daemon) restoreApp(sa snapApp) error {
 	spec, err := workload.ByName(sa.Workload)
 	if err != nil {

@@ -73,6 +73,8 @@ func newDirectory(n int) *directory {
 // per-directory random seed) keeps shard assignment — and therefore
 // tick iteration order — identical across daemons and runs: the same
 // determinism discipline Sweep follows, enforced by the replay tests.
+//
+//angstrom:hotpath
 func (d *directory) shardFor(name string) *dirShard {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(name); i++ {
@@ -84,12 +86,18 @@ func (d *directory) shardFor(name string) *dirShard {
 
 // get is the lock-free read path: one hash, one atomic load, one map
 // lookup. Beat ingestion rides entirely on it.
+//
+//angstrom:hotpath
 func (d *directory) get(name string) (*app, bool) {
 	a, ok := (*d.shardFor(name).apps.Load())[name]
 	return a, ok
 }
 
 // insert adds an application, reporting false on a duplicate name.
+// Directory membership is journaled state: only persist.go writers
+// (enroll live or replayed) may call it.
+//
+//angstrom:journaled mutator
 func (d *directory) insert(name string, a *app) bool {
 	s := d.shardFor(name)
 	s.mu.Lock()
@@ -114,6 +122,10 @@ func (d *directory) insert(name string, a *app) bool {
 }
 
 // remove deletes an application, returning it (ok=false if absent).
+// Directory membership is journaled state: only persist.go writers
+// (withdraw/evict live or replayed) may call it.
+//
+//angstrom:journaled mutator
 func (d *directory) remove(name string) (*app, bool) {
 	s := d.shardFor(name)
 	s.mu.Lock()
@@ -158,6 +170,8 @@ func (d *directory) snapshot(buf []*app) []*app {
 // shardList returns shard i's published app slice. It is immutable
 // (writers replace, never mutate), so callers may hold it across an
 // entire tick without copying.
+//
+//angstrom:hotpath
 func (d *directory) shardList(i int) []*app { return *d.shards[i].list.Load() }
 
 // forEachShard runs fn(shard index) across a pool of `workers`

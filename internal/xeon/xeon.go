@@ -281,9 +281,9 @@ func (s *Server) Actuators() ([]*actuator.Actuator, error) {
 		return nil, err
 	}
 	effect := func(cfg Config) (actuator.Effect, error) {
-		m, err := Evaluate(s.p, spec, cfg)
-		if err != nil {
-			return actuator.Effect{}, err
+		m, merr := Evaluate(s.p, spec, cfg)
+		if merr != nil {
+			return actuator.Effect{}, merr
 		}
 		return actuator.Effect{
 			Speedup: m.HeartRate / baseM.HeartRate,
