@@ -4,7 +4,9 @@
 #   make vet     static analysis
 #   make lint    vet + angstromlint (the repo's contract analyzers)
 #   make docs    fail if any internal package lacks a package comment
-#   make test    tier-1 verification (build + lint + docs + full test suite with -race)
+#   make test    tier-1 verification (build + lint + docs + scenarios + full test suite with -race)
+#   make scenarios  the scenario torture tier: builtin scenarios vs
+#                   oracle-regret budgets + byte-identical replay gates
 #   make bench   run all benchmarks with allocation stats into bench.out
 #   make bench-json  bench + record the BENCH_<date>.json trajectory file
 #   make bench-compare  bench + fail on >20% regression of gated
@@ -16,7 +18,7 @@ GO ?= go
 # followed by bench-compare never compares a run against itself.
 OLD_BENCH ?= $(lastword $(sort $(shell git ls-files 'BENCH_*.json')))
 
-.PHONY: build test bench bench-json bench-compare vet lint docs clean
+.PHONY: build test scenarios bench bench-json bench-compare vet lint docs clean
 
 build:
 	$(GO) build ./...
@@ -40,9 +42,15 @@ docs:
 	fi; \
 	echo "package docs: all internal and cmd packages documented"
 
+# The scenario tier: every builtin torture scenario (flash crowd, goal
+# thrash, crash-restart, SLO classes, ...) must meet its oracle-regret
+# budgets and replay byte-identically across daemon layouts, under -race.
+scenarios:
+	$(GO) test -race -run 'TestScenario' ./internal/scenario
+
 # -shuffle=on randomizes test order within each package so inter-test
 # ordering dependencies fail loudly instead of lurking.
-test: build lint docs
+test: build lint docs scenarios
 	$(GO) test -race -shuffle=on ./...
 
 bench:

@@ -22,6 +22,7 @@ import (
 	"angstrom/internal/heartbeat"
 	"angstrom/internal/journal"
 	"angstrom/internal/noc"
+	"angstrom/internal/scenario"
 	"angstrom/internal/server"
 	"angstrom/internal/sim"
 	"angstrom/internal/workload"
@@ -728,5 +729,28 @@ func BenchmarkDaemonChipTickOversub(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.Tick()
+	}
+}
+
+// BenchmarkScenarioFlashCrowd drives the builtin flash-crowd torture
+// scenario (internal/scenario) end to end against a real daemon: a
+// steady fleet, a 10x arrival burst in one tick, exponential decay, a
+// mass withdrawal, and oracle-regret scoring of every tick. Gated in
+// bench-compare: a slowdown here means the whole serve-observe-decide
+// loop got slower under churn, not just one hot path.
+func BenchmarkScenarioFlashCrowd(b *testing.B) {
+	spec, err := scenario.ByName("flash-crowd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := scenario.Run(spec, scenario.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Scorecard.CheckBudgets(spec.Budgets); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

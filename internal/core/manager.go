@@ -80,6 +80,12 @@ type managedApp struct {
 	// fraction of the scaling curve's throughput the application
 	// actually achieves under current co-location (1 = uncontended).
 	interf float64
+	// weight is the water-fill priority weight (default 1): under
+	// scarcity an application's progressive fair share is proportional
+	// to its weight, so a weight-4 SLO class outbids a weight-1
+	// best-effort class 4:1 for the contended remainder while demands
+	// that fit are still served exactly.
+	weight float64
 
 	prevBeats uint64
 	prevTime  sim.Time
@@ -199,6 +205,7 @@ func (m *Manager) AddAppWithShape(name string, mon *heartbeat.Monitor, scaling f
 		allocated: 1,
 		share:     1,
 		interf:    1,
+		weight:    1,
 		prevTime:  m.clock.Now(),
 		peak:      peak,
 		unimodal:  unimodal,
@@ -245,6 +252,41 @@ func (m *Manager) SetInterference(name string, factor float64) {
 	if a, ok := m.byName[name]; ok {
 		a.interf = factor
 	}
+}
+
+// SetPriority sets an application's water-fill weight: under scarcity
+// the progressive fair share each application may claim is proportional
+// to its weight (all weights default to 1, which reproduces the
+// unweighted walk bit for bit). Demands that fit inside the weighted
+// fair share are still served exactly — priority buys a larger slice of
+// a contended pool, not idle cores. Weights are journaled fleet state:
+// inside internal/server only persist.go writers may call it.
+//
+//angstrom:journaled mutator
+func (m *Manager) SetPriority(name string, weight float64) error {
+	if math.IsNaN(weight) || math.IsInf(weight, 0) || weight <= 0 {
+		return fmt.Errorf("core: priority weight %g for %q outside (0, +Inf)", weight, name)
+	}
+	a, ok := m.byName[name]
+	if !ok {
+		return fmt.Errorf("core: %q not managed", name)
+	}
+	if a.weight == weight {
+		return nil
+	}
+	a.weight = weight
+	// A weight reshapes every application's progressive fair share, not
+	// just this one's: force the next Step through the full sort + walk.
+	m.orderValid = false
+	return nil
+}
+
+// Priority reports an application's water-fill weight.
+func (m *Manager) Priority(name string) (float64, bool) {
+	if a, ok := m.byName[name]; ok {
+		return a.weight, true
+	}
+	return 0, false
 }
 
 // RemoveApp withdraws an application (e.g. at exit), freeing its share
@@ -513,15 +555,18 @@ func (m *Manager) patchOrder() {
 // partition assigns integral units by water-filling: applications are
 // served in ascending order of demand; each receives its full (rounded
 // up) demand when that fits its progressive fair share, otherwise the
-// fair share. Units nobody demands stay unallocated — powering cores an
-// application cannot use is exactly the waste SEEC exists to avoid.
-// Every application keeps at least one unit.
+// fair share. The fair share is weight-proportional (weightedFair): with
+// the default weight 1 everywhere it is exactly remaining/left. Units
+// nobody demands stay unallocated — powering cores an application
+// cannot use is exactly the waste SEEC exists to avoid. Every
+// application keeps at least one unit.
 func (m *Manager) partition() {
 	remaining := m.total
 	left := len(m.order)
+	weightLeft := m.weightLeft()
 	for _, idx := range m.order {
 		a := m.apps[idx]
-		fair := float64(remaining) / float64(left)
+		fair := weightedFair(float64(remaining), a.weight, weightLeft, left)
 		want := int(math.Ceil(a.demand - 1e-9))
 		units := want
 		if float64(want) > fair {
@@ -537,7 +582,30 @@ func (m *Manager) partition() {
 		a.share = 1
 		remaining -= units
 		left--
+		weightLeft -= a.weight
 	}
+}
+
+// weightLeft sums the water-fill weights over the current order — the
+// denominator of the first weighted fair share. Summing small integral
+// weights is exact, so the all-ones fleet reproduces float64(left).
+func (m *Manager) weightLeft() float64 {
+	total := 0.0
+	for _, idx := range m.order {
+		total += m.apps[idx].weight
+	}
+	return total
+}
+
+// weightedFair is one application's progressive fair share of the
+// remaining pool: remaining × weight / weightLeft, falling back to the
+// unweighted remaining/left if accumulated subtraction ever drove the
+// weight denominator to zero ahead of the count.
+func weightedFair(remaining, weight, weightLeft float64, left int) float64 {
+	if weightLeft > 0 {
+		return remaining * weight / weightLeft
+	}
+	return remaining / float64(left)
 }
 
 // minTimeShare floors an oversubscribed application's time share so a
@@ -568,9 +636,10 @@ func clampShareWant(demand float64) float64 {
 func (m *Manager) partitionShared() {
 	remaining := float64(m.total)
 	left := len(m.order)
+	weightLeft := m.weightLeft()
 	for _, idx := range m.order {
 		a := m.apps[idx]
-		fair := remaining / float64(left)
+		fair := weightedFair(remaining, a.weight, weightLeft, left)
 		s := a.sortKey
 		if s > fair {
 			s = fair
@@ -579,6 +648,7 @@ func (m *Manager) partitionShared() {
 		a.share = s
 		remaining -= s
 		left--
+		weightLeft -= a.weight
 	}
 }
 

@@ -125,6 +125,20 @@ func (f *propFleet) churnInterference(rng *rand.Rand) {
 	f.ref.SetInterference(name, factor)
 }
 
+func (f *propFleet) churnPriority(rng *rand.Rand) {
+	if len(f.names) == 0 {
+		return
+	}
+	name := f.names[rng.Intn(len(f.names))]
+	w := []float64{0.5, 1, 2, 4, 8}[rng.Intn(5)]
+	if err := f.inc.SetPriority(name, w); err != nil {
+		f.t.Fatal(err)
+	}
+	if err := f.ref.SetPriority(name, w); err != nil {
+		f.t.Fatal(err)
+	}
+}
+
 func (f *propFleet) beat(rng *rand.Rand) {
 	dt := 0.05 + rng.Float64()
 	start := f.clock.Now()
@@ -196,7 +210,7 @@ func runScript(t *testing.T, seed int64, total int, oversub bool, iters int) [][
 	f := newPropFleet(t, total, oversub)
 	var transcript [][]Allocation
 	for iter := 0; iter < iters; iter++ {
-		switch rng.Intn(10) {
+		switch rng.Intn(12) {
 		case 0, 1:
 			f.add(rng)
 		case 2:
@@ -205,6 +219,8 @@ func runScript(t *testing.T, seed int64, total int, oversub bool, iters int) [][
 			f.churnGoal(rng)
 		case 4:
 			f.churnInterference(rng)
+		case 5:
+			f.churnPriority(rng)
 		default:
 			f.beat(rng)
 		}

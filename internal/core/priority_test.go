@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"angstrom/internal/sim"
+)
+
+func TestSetPriorityValidation(t *testing.T) {
+	clock := sim.NewClock(0)
+	mgr, _ := NewManager(clock, 4)
+	h := newManagedHarness(t, 4, []float64{1}, []func(int) float64{linear})
+	_ = mgr
+	if w, ok := h.mgr.Priority("a"); !ok || w != 1 {
+		t.Fatalf("default priority = (%g, %v), want (1, true)", w, ok)
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := h.mgr.SetPriority("a", bad); err == nil {
+			t.Errorf("SetPriority(%g) accepted", bad)
+		}
+	}
+	if err := h.mgr.SetPriority("ghost", 2); err == nil {
+		t.Fatal("SetPriority on unknown app accepted")
+	}
+	if err := h.mgr.SetPriority("a", 4); err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := h.mgr.Priority("a"); !ok || w != 4 {
+		t.Fatalf("Priority = (%g, %v), want (4, true)", w, ok)
+	}
+	if _, ok := h.mgr.Priority("ghost"); ok {
+		t.Fatal("Priority reported an unknown app")
+	}
+}
+
+// Two identical apps both demanding the whole pool: with weights 3:1 the
+// water-fill must split the contended units 3:1 instead of evenly.
+func TestPriorityWeightsScarcePool(t *testing.T) {
+	h := newManagedHarness(t, 8, []float64{1, 1}, []func(int) float64{linear, linear})
+	for _, mon := range h.mons {
+		mon.SetPerformanceGoal(100, 0) // unreachable: demand saturates at the pool
+	}
+	h.run(5)
+	h.step(t)
+	h.run(5)
+	even := append([]Allocation(nil), h.step(t)...)
+	if even[0].Units != 4 || even[1].Units != 4 {
+		t.Fatalf("unweighted split = %d:%d, want 4:4", even[0].Units, even[1].Units)
+	}
+	if err := h.mgr.SetPriority("a", 3); err != nil {
+		t.Fatal(err)
+	}
+	h.run(5)
+	weighted := h.step(t)
+	if weighted[0].Units != 6 || weighted[1].Units != 2 {
+		t.Fatalf("3:1-weighted split = %d:%d, want 6:2", weighted[0].Units, weighted[1].Units)
+	}
+}
+
+// Oversubscribed counterpart: four apps time-sharing two units, all
+// wanting a full core-equivalent. The weight-3 app claims its whole
+// weighted fair share; the rest split the remainder evenly.
+func TestPriorityWeightsOversubscribed(t *testing.T) {
+	h := newManagedHarness(t, 2, []float64{1, 1, 1, 1},
+		[]func(int) float64{linear, linear, linear, linear}, withOversubscription())
+	for _, mon := range h.mons {
+		mon.SetPerformanceGoal(50, 0)
+	}
+	h.run(5)
+	h.step(t)
+	if err := h.mgr.SetPriority("a", 3); err != nil {
+		t.Fatal(err)
+	}
+	h.run(5)
+	got := h.step(t)
+	if got[0].Share < 0.99 {
+		t.Fatalf("weight-3 app share = %g, want ~1 (its weighted fair share)", got[0].Share)
+	}
+	for i := 1; i < 4; i++ {
+		if math.Abs(got[i].Share-1.0/3) > 1e-9 {
+			t.Fatalf("weight-1 app %d share = %g, want 1/3 of the remainder", i, got[i].Share)
+		}
+	}
+}
+
+// Demands that fit are served exactly regardless of weight: priority
+// buys a larger slice of a contended pool, not idle cores.
+func TestPriorityDoesNotInflateFittingDemand(t *testing.T) {
+	h := newManagedHarness(t, 16, []float64{1, 1}, []func(int) float64{linear, linear})
+	h.mons[0].SetPerformanceGoal(3, 0)
+	h.mons[1].SetPerformanceGoal(3, 0)
+	if err := h.mgr.SetPriority("a", 8); err != nil {
+		t.Fatal(err)
+	}
+	h.run(5)
+	h.step(t)
+	h.run(5)
+	got := h.step(t)
+	if got[0].Units != got[1].Units {
+		t.Fatalf("fitting demands diverged under weight: %d vs %d", got[0].Units, got[1].Units)
+	}
+	if got[0].Units > 4 {
+		t.Fatalf("weight-8 app granted %d units for a ~3-unit demand", got[0].Units)
+	}
+}

@@ -25,9 +25,12 @@ type Point struct {
 }
 
 // Metric is the paper's efficiency measure: min(achieved, target) per
-// Watt beyond idle.
+// Watt beyond idle. Unphysical inputs — non-positive power, NaN rate or
+// target — score 0, so a corrupt sample can never win a selection by
+// propagating NaN through the comparisons (NaN compares false against
+// everything, which would freeze BestMetric's running maximum).
 func Metric(p Point, target float64) float64 {
-	if p.Power <= 0 {
+	if p.Power <= 0 || math.IsNaN(p.Rate) || math.IsNaN(target) || math.IsNaN(p.Power) {
 		return 0
 	}
 	return math.Min(p.Rate, target) / p.Power
@@ -36,7 +39,10 @@ func Metric(p Point, target float64) float64 {
 // BestMeeting returns the index of the minimum-power point whose rate
 // meets the target. If no point meets it, ok is false and the index of
 // the highest-rate point is returned (the best-effort fallback any real
-// provisioner would take).
+// provisioner would take). Empty input returns (-1, false). NaN rates
+// never meet a target and never win the fallback (every comparison
+// against NaN is false), so a slice of all-NaN points also returns
+// (-1, false); a NaN target is met by nothing and falls back.
 func BestMeeting(points []Point, target float64) (idx int, ok bool) {
 	idx = -1
 	bestPower := math.Inf(1)
@@ -73,7 +79,9 @@ func BestMetric(points []Point, target float64) int {
 // system (§5.2: "all applications use the same number of cores and the
 // same clock speed"; a configuration that misses goals is not doing the
 // job SEEC is being compared on). If no configuration meets all targets,
-// it falls back to the one meeting the most, cheapest first.
+// it falls back to the one meeting the most, cheapest first. Empty
+// input — no applications, or applications with no evaluated
+// configurations — returns -1.
 func BestMeetingAll(points [][]Point, targets []float64) int {
 	if len(points) == 0 {
 		return -1

@@ -132,6 +132,101 @@ func TestBestMetricDominatesProperty(t *testing.T) {
 	}
 }
 
+// Table-driven edge cases: empty inputs, the no-meeting fallback, and
+// NaN guards. The selection procedures feed the scenario scorer, which
+// must never let a corrupt sample pick a configuration or crash on an
+// empty action space.
+func TestBestMeetingEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name    string
+		points  []Point
+		target  float64
+		wantIdx int
+		wantOK  bool
+	}{
+		{"empty", nil, 10, -1, false},
+		{"single meets", []Point{{Rate: 12, Power: 3}}, 10, 0, true},
+		{"single misses", []Point{{Rate: 5, Power: 3}}, 10, 0, false},
+		{"all NaN rates", []Point{{Rate: nan, Power: 1}, {Rate: nan, Power: 2}}, 10, -1, false},
+		{"NaN rate skipped", []Point{{Rate: nan, Power: 1}, {Rate: 20, Power: 5}}, 10, 1, true},
+		{"NaN target falls back", []Point{{Rate: 5, Power: 1}, {Rate: 30, Power: 2}}, nan, 1, false},
+		{"zero target met by zero rate", []Point{{Rate: 0, Power: 1}}, 0, 0, true},
+	}
+	for _, tc := range cases {
+		idx, ok := BestMeeting(tc.points, tc.target)
+		if idx != tc.wantIdx || ok != tc.wantOK {
+			t.Errorf("%s: BestMeeting = (%d, %v), want (%d, %v)", tc.name, idx, ok, tc.wantIdx, tc.wantOK)
+		}
+	}
+}
+
+func TestBestMeetingAllEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name    string
+		points  [][]Point
+		targets []float64
+		want    int
+	}{
+		{"no apps", nil, nil, -1},
+		{"apps without configs", [][]Point{{}, {}}, []float64{1, 1}, -1},
+		{
+			"meets all beats meets most",
+			[][]Point{
+				{{Rate: 10, Power: 1}, {Rate: 50, Power: 9}},
+				{{Rate: 1, Power: 1}, {Rate: 40, Power: 9}},
+			},
+			[]float64{5, 5},
+			1,
+		},
+		{
+			"tie on met resolved by power",
+			[][]Point{
+				{{Rate: 10, Power: 5}, {Rate: 10, Power: 2}},
+			},
+			[]float64{5},
+			1,
+		},
+		{
+			"NaN rate never counts as met",
+			[][]Point{
+				{{Rate: nan, Power: 1}, {Rate: 10, Power: 9}},
+			},
+			[]float64{5},
+			1,
+		},
+	}
+	for _, tc := range cases {
+		if got := BestMeetingAll(tc.points, tc.targets); got != tc.want {
+			t.Errorf("%s: BestMeetingAll = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestMetricNaNGuards(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		p      Point
+		target float64
+	}{
+		{"NaN rate", Point{Rate: nan, Power: 2}, 10},
+		{"NaN power", Point{Rate: 5, Power: nan}, 10},
+		{"NaN target", Point{Rate: 5, Power: 2}, nan},
+	}
+	for _, tc := range cases {
+		if got := Metric(tc.p, tc.target); got != 0 {
+			t.Errorf("%s: Metric = %g, want 0", tc.name, got)
+		}
+	}
+	// And BestMetric must still prefer any finite point over NaN ones.
+	pts := []Point{{Rate: nan, Power: 1}, {Rate: 4, Power: 2}}
+	if got := BestMetric(pts, 10); got != 1 {
+		t.Fatalf("BestMetric with NaN point = %d, want 1", got)
+	}
+}
+
 func TestNormalizeTo(t *testing.T) {
 	got := NormalizeTo([]float64{1, 2, 4}, 4)
 	want := []float64{0.25, 0.5, 1}

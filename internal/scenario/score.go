@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"angstrom/internal/oracle"
+)
+
+// inBandTolerance widens the goal band for the in-band check: beats are
+// emitted in integral batches per tick, so a rate that sits exactly on
+// the band edge quantizes in and out of it. 10% absorbs the
+// quantization without hiding real misses.
+const inBandTolerance = 0.10
+
+// AppScore is one application's integrated scenario outcome.
+type AppScore struct {
+	Name  string `json:"name"`
+	Class string `json:"class"`
+	// LiveSeconds is the scored (post-warmup) time the app was enrolled.
+	LiveSeconds float64 `json:"live_seconds"`
+	// InBandFrac is the fraction of live time the achieved rate sat
+	// inside the goal band (with the quantization tolerance).
+	InBandFrac float64 `json:"in_band_frac"`
+	// OracleMeetSeconds is the live time during which a clairvoyant
+	// allocator could have met the goal within the shared pool; regret
+	// is only charged there — missing an impossible goal is not regret.
+	OracleMeetSeconds float64 `json:"oracle_meet_seconds"`
+	// RegretSeconds integrates the normalized shortfall
+	// max(0, target-achieved)/target over oracle-meetable time.
+	RegretSeconds float64 `json:"regret_seconds"`
+	// RegretFrac is RegretSeconds / OracleMeetSeconds (0 when the
+	// oracle never had a feasible tick).
+	RegretFrac float64 `json:"regret_frac"`
+	// DistortionIntegral integrates |distortion| over live time.
+	DistortionIntegral float64 `json:"distortion_integral"`
+	// MeanRate and MeanTarget summarize the achieved and asked rates.
+	MeanRate   float64 `json:"mean_rate"`
+	MeanTarget float64 `json:"mean_target"`
+}
+
+// Scorecard is a scenario run's full outcome.
+type Scorecard struct {
+	Scenario string `json:"scenario"`
+	Seed     uint64 `json:"seed"`
+	Ticks    int    `json:"ticks"`
+	// Apps is every application that ever enrolled, sorted by name.
+	Apps []AppScore `json:"apps"`
+	// FleetRegretFrac is sum(RegretSeconds) / sum(OracleMeetSeconds).
+	FleetRegretFrac float64 `json:"fleet_regret_frac"`
+	// FleetInBandFrac is the live-time-weighted in-band fraction.
+	FleetInBandFrac float64 `json:"fleet_in_band_frac"`
+	// WorstApp / WorstRegretFrac single out the worst-served app.
+	WorstApp        string  `json:"worst_app,omitempty"`
+	WorstRegretFrac float64 `json:"worst_regret_frac"`
+	// PeakApps is the largest concurrent fleet observed.
+	PeakApps int `json:"peak_apps"`
+	// Crashes counts crash-restart events executed.
+	Crashes int `json:"crashes"`
+	// Beats and Decisions are the daemon's final counters.
+	Beats     uint64 `json:"beats"`
+	Decisions uint64 `json:"decisions"`
+	// TranscriptSHA256 fingerprints the run's byte-exact transcript.
+	TranscriptSHA256 string `json:"transcript_sha256"`
+}
+
+// CheckBudgets compares the scorecard against the spec's gates,
+// returning one error naming every violated budget.
+func (sc *Scorecard) CheckBudgets(b Budgets) error {
+	var viol []string
+	if b.MaxFleetRegretFrac > 0 && sc.FleetRegretFrac > b.MaxFleetRegretFrac {
+		viol = append(viol, fmt.Sprintf("fleet regret %.4f > budget %.4f", sc.FleetRegretFrac, b.MaxFleetRegretFrac))
+	}
+	if b.MinFleetInBandFrac > 0 && sc.FleetInBandFrac < b.MinFleetInBandFrac {
+		viol = append(viol, fmt.Sprintf("fleet in-band %.4f < budget %.4f", sc.FleetInBandFrac, b.MinFleetInBandFrac))
+	}
+	if b.MaxAppRegretFrac > 0 && sc.WorstRegretFrac > b.MaxAppRegretFrac {
+		viol = append(viol, fmt.Sprintf("worst app (%s) regret %.4f > budget %.4f", sc.WorstApp, sc.WorstRegretFrac, b.MaxAppRegretFrac))
+	}
+	if len(viol) > 0 {
+		return fmt.Errorf("scenario %s: budget violations: %s", sc.Scenario, strings.Join(viol, "; "))
+	}
+	return nil
+}
+
+// appTally accumulates one application's scoring integrals while it is
+// live; it is folded into an AppScore when the app leaves or the
+// scenario ends.
+type appTally struct {
+	name       string
+	class      string
+	liveSec    float64
+	inBandSec  float64
+	meetSec    float64
+	regretSec  float64
+	distortion float64
+	rateInt    float64
+	targetInt  float64
+}
+
+func (a *appTally) finish() AppScore {
+	s := AppScore{
+		Name: a.name, Class: a.class,
+		LiveSeconds:        a.liveSec,
+		OracleMeetSeconds:  a.meetSec,
+		RegretSeconds:      a.regretSec,
+		DistortionIntegral: a.distortion,
+	}
+	if a.liveSec > 0 {
+		s.InBandFrac = a.inBandSec / a.liveSec
+		s.MeanRate = a.rateInt / a.liveSec
+		s.MeanTarget = a.targetInt / a.liveSec
+	}
+	if a.meetSec > 0 {
+		s.RegretFrac = a.regretSec / a.meetSec
+	}
+	return s
+}
+
+// oracleDemand inverts a class's speedup points for the units a
+// clairvoyant allocator would need to deliver scaledTarget (the target
+// expressed as a required speedup over one dedicated unit). ok is false
+// when even the whole pool cannot meet it.
+func oracleDemand(points []oracle.Point, scaledTarget float64) (units float64, ok bool) {
+	idx, ok := oracle.BestMeeting(points, scaledTarget)
+	if idx < 0 {
+		return 0, false
+	}
+	if !ok {
+		return float64(len(points)), false
+	}
+	if idx == 0 {
+		// Sub-unit demands time-share a single core.
+		if r := points[0].Rate; r > 0 && scaledTarget < r {
+			return math.Max(scaledTarget/r, 0.01), true
+		}
+		return 1, true
+	}
+	return float64(idx + 1), true
+}
+
+// collectScores folds live tallies and finished apps into the final
+// sorted scorecard.
+func collectScores(sc *Scorecard, finished []AppScore, live []*appTally) {
+	apps := append([]AppScore{}, finished...)
+	for _, t := range live {
+		apps = append(apps, t.finish())
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i].Name < apps[j].Name })
+	sc.Apps = apps
+	var regret, meet, inBand, liveSec float64
+	worst := -1
+	for i := range apps {
+		a := &apps[i]
+		regret += a.RegretSeconds
+		meet += a.OracleMeetSeconds
+		inBand += a.InBandFrac * a.LiveSeconds
+		liveSec += a.LiveSeconds
+		if a.OracleMeetSeconds > 0 && (worst < 0 || a.RegretFrac > apps[worst].RegretFrac) {
+			worst = i
+		}
+	}
+	if meet > 0 {
+		sc.FleetRegretFrac = regret / meet
+	}
+	if liveSec > 0 {
+		sc.FleetInBandFrac = inBand / liveSec
+	}
+	if worst >= 0 {
+		sc.WorstApp = apps[worst].Name
+		sc.WorstRegretFrac = apps[worst].RegretFrac
+	}
+}

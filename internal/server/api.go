@@ -36,6 +36,11 @@ type EnrollRequest struct {
 	// MinRate is required; MaxRate 0 means "no upper bound".
 	MinRate float64 `json:"min_rate"`
 	MaxRate float64 `json:"max_rate,omitempty"`
+	// Priority is the water-fill weight for contended-pool arbitration
+	// (SLO classes): under scarcity the app's fair share is proportional
+	// to it. 0 means the default weight 1; must be finite, positive, and
+	// at most 1e6.
+	Priority float64 `json:"priority,omitempty"`
 }
 
 // BeatRequest ingests a batch of heartbeats.

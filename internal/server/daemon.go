@@ -164,6 +164,9 @@ type app struct {
 	// as it was built (manager and contention-pass iteration order).
 	seq    uint64
 	window int // heartbeat averaging window (persisted by snapshots)
+	// prio is the enrollment's declared water-fill weight (0 = default
+	// 1); persisted by snapshots so a restore re-weights the manager.
+	prio   float64
 	mgrID  int // the Manager's stable handle; indexes the tick's alloc table
 	spec   workload.Spec
 	mon    *heartbeat.Monitor
@@ -404,6 +407,20 @@ func curveShapeFor(spec workload.Spec, cores int, scaling func(int) float64) cur
 	return v.(curveShape)
 }
 
+// validPriority vets an enrollment's water-fill weight: 0 selects the
+// default weight 1; anything else must be finite, positive, and within
+// a sane magnitude (a runaway weight would starve every other class to
+// its one-unit floor).
+func validPriority(p float64) error {
+	if p == 0 {
+		return nil
+	}
+	if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1e6 {
+		return fmt.Errorf("server: priority %g outside (0, 1e6]", p)
+	}
+	return nil
+}
+
 func validGoal(minRate, maxRate float64) error {
 	// NaN slips through ordered comparisons, so finiteness is checked
 	// explicitly: a NaN/Inf band would poison every controller estimate
@@ -440,6 +457,9 @@ func (d *Daemon) Enroll(req EnrollRequest) error {
 		return fmt.Errorf("server: invalid app name %q", req.Name)
 	}
 	if err := validGoal(req.MinRate, req.MaxRate); err != nil {
+		return err
+	}
+	if err := validPriority(req.Priority); err != nil {
 		return err
 	}
 	chipBacked := false
@@ -518,6 +538,14 @@ func (d *Daemon) Enroll(req EnrollRequest) error {
 	if err := d.mgr.AddAppWithShape(name, mon, scaling, shape.peak, shape.unimodal); err != nil {
 		d.unbindChip(a)
 		return err
+	}
+	if req.Priority > 0 {
+		if err := d.mgr.SetPriority(name, req.Priority); err != nil {
+			d.mgr.RemoveApp(name)
+			d.unbindChip(a)
+			return err
+		}
+		a.prio = req.Priority
 	}
 	a.mgrID, _ = d.mgr.AppID(name)
 	if err := d.reg.Enroll(name, mon); err != nil {

@@ -97,6 +97,8 @@ type snapApp struct {
 	Window     int      `json:"window"`
 	MinRate    float64  `json:"min_rate"`
 	MaxRate    float64  `json:"max_rate,omitempty"`
+	// Priority is the declared water-fill weight (0 = default 1).
+	Priority   float64  `json:"priority,omitempty"`
 	EnrolledAt sim.Time `json:"enrolled_at"`
 	// The manager's last allocation view (status continuity until the
 	// first post-restore tick re-prices the fleet).
@@ -421,9 +423,12 @@ func (d *Daemon) restoreApp(sa snapApp) error {
 	if err := validGoal(sa.MinRate, sa.MaxRate); err != nil {
 		return err
 	}
+	if err := validPriority(sa.Priority); err != nil {
+		return err
+	}
 	mon := heartbeat.New(d.clock, heartbeat.WithWindow(sa.Window))
 	mon.SetPerformanceGoal(sa.MinRate, sa.MaxRate)
-	a := &app{name: sa.Name, spec: spec, mon: mon, window: sa.Window, enrolledAt: sa.EnrolledAt}
+	a := &app{name: sa.Name, spec: spec, mon: mon, window: sa.Window, enrolledAt: sa.EnrolledAt, prio: sa.Priority}
 	units := sa.Units
 	if units < 1 {
 		units = 1
@@ -455,6 +460,13 @@ func (d *Daemon) restoreApp(sa snapApp) error {
 	if err := d.mgr.AddAppWithShape(sa.Name, mon, scaling, shape.peak, shape.unimodal); err != nil {
 		d.unbindChip(a)
 		return err
+	}
+	if sa.Priority > 0 {
+		if err := d.mgr.SetPriority(sa.Name, sa.Priority); err != nil {
+			d.mgr.RemoveApp(sa.Name)
+			d.unbindChip(a)
+			return err
+		}
 	}
 	a.mgrID, _ = d.mgr.AppID(sa.Name)
 	a.alloc.ID = a.mgrID
@@ -494,7 +506,7 @@ func (d *Daemon) buildImage(seq uint64) snapImage {
 	sort.Slice(apps, func(i, j int) bool { return apps[i].seq < apps[j].seq })
 	img.Apps = make([]snapApp, 0, len(apps))
 	for _, a := range apps {
-		sa := snapApp{Name: a.name, Workload: a.spec.Name, Window: a.window}
+		sa := snapApp{Name: a.name, Workload: a.spec.Name, Window: a.window, Priority: a.prio}
 		if g := a.mon.Goals().Performance; g != nil {
 			sa.MinRate, sa.MaxRate = g.MinRate, g.MaxRate
 		}

@@ -78,7 +78,19 @@ type Spec struct {
 }
 
 // Validate reports whether the spec's parameters are physically sensible.
+// NaN and infinite parameters are rejected up front: NaN compares false
+// against every bound below, so without this guard a NaN field would
+// sail through the range checks and poison every downstream curve.
 func (s Spec) Validate() error {
+	for _, v := range []float64{
+		s.ParallelFrac, s.SyncOverhead, s.MemOpsPerInstr, s.SharedWSKB,
+		s.PrivateWSKB, s.MissFloor, s.ZipfS, s.FlitsPerKiloInstr,
+		s.InstrPerBeat, s.PhaseAmp, s.PhasePeriodBeats, s.NoiseStd,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("workload %s: non-finite parameter %g", s.Name, v)
+		}
+	}
 	switch {
 	case s.Name == "":
 		return fmt.Errorf("workload: empty name")

@@ -51,6 +51,12 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 		"bad amp":       func(s *Spec) { s.PhaseAmp = 1 },
 		"bad period":    func(s *Spec) { s.PhasePeriodBeats = 0 },
 		"neg noise":     func(s *Spec) { s.NoiseStd = -0.1 },
+		"nan parallel":  func(s *Spec) { s.ParallelFrac = math.NaN() },
+		"nan work":      func(s *Spec) { s.InstrPerBeat = math.NaN() },
+		"nan noise":     func(s *Spec) { s.NoiseStd = math.NaN() },
+		"inf period":    func(s *Spec) { s.PhasePeriodBeats = math.Inf(1) },
+		"inf ws":        func(s *Spec) { s.PrivateWSKB = math.Inf(1) },
+		"neg inf sync":  func(s *Spec) { s.SyncOverhead = math.Inf(-1) },
 	}
 	for name, mut := range cases {
 		s := base
