@@ -732,6 +732,74 @@ func BenchmarkDaemonChipTickOversub(b *testing.B) {
 	}
 }
 
+// newFederatedBenchDaemon builds an accelerated four-die fleet with n
+// chip-backed apps spread across it by the interference-aware placer.
+func newFederatedBenchDaemon(b *testing.B, n int) *server.Daemon {
+	b.Helper()
+	d, err := server.NewDaemon(server.Config{
+		Cores: 4096, Accel: 0.1, Period: time.Hour, Oversubscribe: true,
+		Chip: &server.ChipConfig{Chips: 4, Tiles: 1024},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := []string{"barnes", "ocean", "raytrace", "water", "volrend"}
+	for i := 0; i < n; i++ {
+		err := d.Enroll(server.EnrollRequest{
+			Name:     fmt.Sprintf("app-%05d", i),
+			Workload: names[i%len(names)],
+			Window:   256,
+			MinRate:  20,
+			MaxRate:  30,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return d
+}
+
+// BenchmarkDaemonTickFederated gates fleet-scale federated serving: one
+// decision period over 10,000 chip-backed applications placed across a
+// four-die fleet (2,500 partitions per 1,024-tile die, oversubscribed).
+// Each tick runs every die's contention pass, executes every
+// partition's schedule, splits the core budget through the broker's
+// per-die managers, and runs the migration scan — the whole multi-chip
+// tick pipeline, so a regression here means federation made serving
+// itself slower.
+func BenchmarkDaemonTickFederated(b *testing.B) {
+	d := newFederatedBenchDaemon(b, 10000)
+	d.Tick() // warm: first decisions for the whole fleet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Tick()
+	}
+}
+
+// BenchmarkPlacement gates the interference-aware enroll path on a
+// populated four-die fleet: one Enroll — the placer pricing the
+// candidate's predicted mem/NoC contribution against every die's
+// ledger, then partition acquire and manager add on the winner — plus
+// the Withdraw that undoes it, with 2,000 standing tenants supplying
+// the contention aggregates the placer ranks.
+func BenchmarkPlacement(b *testing.B) {
+	d := newFederatedBenchDaemon(b, 2000)
+	d.Tick() // contention pass: the placer prices measured aggregates
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Enroll(server.EnrollRequest{
+			Name: "probe", Workload: "ocean", Window: 256, MinRate: 20, MaxRate: 30,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Withdraw("probe"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkScenarioFlashCrowd drives the builtin flash-crowd torture
 // scenario (internal/scenario) end to end against a real daemon: a
 // steady fleet, a 10x arrival burst in one tick, exponential decay, a

@@ -17,6 +17,14 @@
 //
 //	angstromd -chip -chip-tiles 256 -oversubscribe -chip-power 40 -chip-mem-bw 200
 //
+// With -chips N (N > 1), the chip model becomes a federation of N
+// identical dies: enrollments are placed on the die where their
+// predicted memory/NoC pressure fits best, and applications whose
+// contention slowdown falls past -migrate-slowdown are migrated live to
+// a less-loaded die. Per-die ledgers are served at /v1/chips.
+//
+//	angstromd -chip -chips 4 -chip-tiles 256 -oversubscribe -chip-mem-bw 200
+//
 // With -data-dir, the control plane is durable: every mutation is
 // written ahead to a checksummed journal, periodic snapshots compact
 // it, and a restart (or crash) restores the enrolled fleet — directory,
@@ -32,7 +40,8 @@
 //	GET    /healthz
 //	GET    /readyz
 //	GET    /v1/stats
-//	GET    /v1/chip               (404 unless -chip)
+//	GET    /v1/chip               (404 unless -chip; single-die only)
+//	GET    /v1/chips              (404 unless -chip)
 //	GET    /v1/apps
 //	POST   /v1/apps               {"name","workload","window","mode","min_rate","max_rate"}
 //	GET    /v1/apps/{name}
@@ -66,11 +75,13 @@ func main() {
 	shards := flag.Int("shards", 0, "app-directory shard count, rounded to a power of two (0 = scaled from GOMAXPROCS)")
 	tickWorkers := flag.Int("tick-workers", 0, "tick worker-pool size for the per-shard phases (0 = GOMAXPROCS)")
 	chip := flag.Bool("chip", false, "bind enrolled apps to a shared Angstrom chip model (real knobs)")
-	chipTiles := flag.Int("chip-tiles", 0, "physical tiles of the shared chip (0 = core pool size)")
+	chips := flag.Int("chips", 0, "number of identical dies in the chip fleet (0/1 = single die; implies -chip)")
+	chipTiles := flag.Int("chip-tiles", 0, "physical tiles of each die (0 = core pool size)")
 	chipCache := flag.Int("chip-cache", 0, "largest per-core L2 option in KB (0 = 32/64/128 ladder)")
 	chipPower := flag.Float64("chip-power", 0, "chip-wide power budget in watts (0 = unlimited)")
 	chipMemBW := flag.Float64("chip-mem-bw", 0, "off-chip memory bandwidth in GB/s shared by all partitions (0 = model default)")
 	chipNoCBW := flag.Float64("chip-noc-bw", 0, "mesh link bandwidth in flits/cycle for the contention model (0 = model default)")
+	migrateSlowdown := flag.Float64("migrate-slowdown", 0, "contention slowdown below which an app migrates between dies (0 = 0.8 default, negative = never)")
 	dataDir := flag.String("data-dir", "", "journal + snapshot directory for a durable control plane (empty = volatile)")
 	snapEvery := flag.Duration("snapshot-interval", 0, "snapshot compaction interval (0 = 30s default, negative = journal-only)")
 	beatTimeout := flag.Duration("beat-timeout", 0, "evict advisory apps silent for this many daemon-clock seconds (0 = never)")
@@ -88,12 +99,14 @@ func main() {
 		SnapshotEvery: *snapEvery,
 		BeatTimeout:   *beatTimeout,
 	}
-	if *chip {
+	if *chip || *chips > 1 {
 		cc := &server.ChipConfig{
+			Chips:           *chips,
 			Tiles:           *chipTiles,
 			PowerBudgetW:    *chipPower,
 			MemBandwidthBps: *chipMemBW * 1e9,
 			NoCFlitBW:       *chipNoCBW,
+			MigrateSlowdown: *migrateSlowdown,
 		}
 		if *chipCache > 0 {
 			// A three-rung ladder topping out at the requested size.
@@ -137,6 +150,9 @@ func main() {
 
 	if st, ok := d.ChipStatus(); ok {
 		log.Printf("angstromd: chip-backed (%d tiles, budget %gW)", st.Tiles, st.PowerBudgetW)
+	} else if sts := d.ChipStatuses(); len(sts) > 1 {
+		log.Printf("angstromd: chip fleet (%d dies × %d tiles, budget %gW/die)",
+			len(sts), sts[0].Tiles, sts[0].PowerBudgetW)
 	}
 	log.Printf("angstromd: serving on %s (cores=%d period=%s accel=%g oversubscribe=%v shards=%d)",
 		*addr, *cores, *period, *accel, *oversub, d.Stats().Shards)

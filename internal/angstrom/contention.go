@@ -86,6 +86,14 @@ type Contention struct {
 	NoCCapacity float64
 	// NoCRho is min(FlitHopsPerSec/NoCCapacity, 0.95).
 	NoCRho float64
+	// OfferedMemBps and OfferedFlitHops are the aggregate *offered*
+	// demands: share-scaled but NOT slowdown-scaled. On a saturated chip
+	// the effective aggregates above collapse (throttled partitions
+	// inject less), so delivered utilization can look low exactly when
+	// the chip is drowning; the offered aggregates keep growing and are
+	// what fleet-level placement and migration rank dies by.
+	OfferedMemBps   float64
+	OfferedFlitHops float64
 	// Passes counts completed UpdateContention calls.
 	Passes uint64
 }
@@ -196,7 +204,7 @@ func (sc *SharedChip) UpdateContention() {
 	}
 	sc.scratch = slots[:0] // keep the backing array for the next pass
 
-	memCap := sc.p.MemBandwidthBps
+	memCap := sc.p.MemBandwidthBps * sc.memScale
 	nocCap := sc.nocCap
 	var memDemand, nocDemand float64
 	for iter := 0; iter < 3; iter++ {
@@ -261,14 +269,23 @@ func (sc *SharedChip) UpdateContention() {
 		s.pt.mu.Unlock()
 	}
 
+	var offeredMem, offeredNoC float64
+	for i := range slots {
+		s := &slots[i]
+		offeredMem += s.share * s.terms.memBps
+		offeredNoC += s.share * s.terms.flitHops
+	}
+
 	sc.contention = Contention{
-		MemDemandBps:   memDemand,
-		MemCapacityBps: memCap,
-		MemRho:         math.Min(memDemand/memCap, rhoCap),
-		FlitHopsPerSec: nocDemand,
-		NoCCapacity:    nocCap,
-		NoCRho:         math.Min(nocDemand/nocCap, rhoCap),
-		Passes:         sc.contention.Passes + 1,
+		MemDemandBps:    memDemand,
+		MemCapacityBps:  memCap,
+		MemRho:          math.Min(memDemand/memCap, rhoCap),
+		FlitHopsPerSec:  nocDemand,
+		NoCCapacity:     nocCap,
+		NoCRho:          math.Min(nocDemand/nocCap, rhoCap),
+		OfferedMemBps:   offeredMem,
+		OfferedFlitHops: offeredNoC,
+		Passes:          sc.contention.Passes + 1,
 	}
 
 	// Zero the scratch backing array: entries past the next pass's

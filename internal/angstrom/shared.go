@@ -50,7 +50,10 @@ type SharedChip struct {
 
 	mu    sync.Mutex
 	used  float64 // sum over partitions of Cores × Share
-	parts map[string]*Partition
+	// memScale derates the chip's off-chip bandwidth (thermal throttle,
+	// failed channel, chaos injection). 1 = nominal.
+	memScale float64
+	parts    map[string]*Partition
 	// order lists partitions in acquisition order: deterministic float
 	// aggregation for the contention pass and power sums (map iteration
 	// order would vary run to run and perturb last-ulp results).
@@ -65,9 +68,33 @@ func NewSharedChip(p Params, tiles int) (*SharedChip, error) {
 	if tiles < 1 || tiles > p.MaxCores {
 		return nil, fmt.Errorf("angstrom: %d tiles outside [1, %d]", tiles, p.MaxCores)
 	}
-	sc := &SharedChip{p: p, tiles: tiles, nocCap: nocCapacity(p, tiles), parts: make(map[string]*Partition)}
+	sc := &SharedChip{p: p, tiles: tiles, nocCap: nocCapacity(p, tiles), memScale: 1, parts: make(map[string]*Partition)}
 	sc.contention = Contention{MemCapacityBps: p.MemBandwidthBps, NoCCapacity: sc.nocCap}
 	return sc, nil
+}
+
+// SetMemBandwidthScale derates the chip's off-chip bandwidth to
+// scale × nominal — a thermal throttle, a failed memory channel, or a
+// chaos injection. The derated capacity takes effect at the next
+// contention pass. Inside internal/server this is journaled daemon
+// state: only persist.go writers may call it.
+//
+//angstrom:journaled mutator
+func (sc *SharedChip) SetMemBandwidthScale(scale float64) error {
+	if !(scale > 0 && scale <= 1) {
+		return fmt.Errorf("angstrom: mem bandwidth scale %g outside (0, 1]", scale)
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.memScale = scale
+	return nil
+}
+
+// MemBandwidthScale reports the current off-chip bandwidth derating.
+func (sc *SharedChip) MemBandwidthScale() float64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.memScale
 }
 
 // Params returns the chip constants.

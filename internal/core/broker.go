@@ -1,0 +1,178 @@
+package core
+
+import "sort"
+
+// Broker is the federation layer's global arbiter: one level above the
+// per-chip Managers, it splits a fleet-wide resource budget (core
+// units, watts) across chips by each chip's aggregate corrected need —
+// the same water-filling idea the Managers apply per application,
+// lifted one level. The hierarchy keeps every Step incremental: the
+// broker only moves each Manager's budget; demand caches, sort orders,
+// and quiescence state inside the Managers survive untouched.
+//
+// Determinism contract: both splits are pure functions of their
+// arguments, use index order for every tie-break, and allocate nothing
+// in steady state — the per-chip budgets they produce feed journaled
+// tick state, so replay must reproduce them bit for bit.
+type Broker struct {
+	out     []int
+	floors  []int
+	excess  []float64
+	outW    []float64
+	rank    []int
+	demands []float64
+}
+
+// NewBroker builds an empty broker; scratch grows to the chip count.
+func NewBroker() *Broker { return &Broker{} }
+
+// SplitUnits divides `total` resource units across the per-chip
+// managers by last tick's aggregate demand (Manager.AggregateDemand).
+// Every non-empty manager is floored first — at its app count when the
+// fleet is space-shared (each app keeps >= 1 unit), at one unit when
+// oversubscribed — then the surplus is split proportionally to demand
+// beyond the floor with largest-remainder rounding. Units no chip
+// demands stay unallocated, mirroring Manager.partition. The returned
+// slice is valid until the next call.
+func (b *Broker) SplitUnits(total int, mgrs []*Manager) []int {
+	n := len(mgrs)
+	b.out = resizeInts(b.out, n)
+	if n == 1 {
+		// Single chip: the broker is the identity, bit for bit.
+		b.out[0] = total
+		return b.out
+	}
+	b.floors = resizeInts(b.floors, n)
+	b.excess = resizeF(b.excess, n)
+	b.demands = resizeF(b.demands, n)
+
+	floorSum := 0
+	for i, m := range mgrs {
+		f := 0
+		if apps := m.Apps(); apps > 0 {
+			if m.Oversubscribed() {
+				f = 1
+			} else {
+				f = apps
+			}
+			if f > total-floorSum {
+				f = total - floorSum // admission should prevent this; never go negative
+			}
+		}
+		b.floors[i] = f
+		floorSum += f
+		b.demands[i] = m.AggregateDemand()
+	}
+
+	surplus := total - floorSum
+	var excessSum float64
+	for i := range mgrs {
+		e := b.demands[i] - float64(b.floors[i])
+		if e < 0 || b.floors[i] == 0 {
+			e = 0 // empty chips and chips already satisfied claim no surplus
+		}
+		b.excess[i] = e
+		excessSum += e
+	}
+	for i := range b.out {
+		b.out[i] = b.floors[i]
+	}
+	if surplus <= 0 || excessSum <= 0 {
+		return b.out
+	}
+
+	// Largest-remainder apportionment of the surplus, ties by chip
+	// index: integral, exact, and deterministic.
+	granted := 0
+	b.rank = b.rank[:0]
+	for i := range b.excess {
+		exact := float64(surplus) * b.excess[i] / excessSum
+		whole := int(exact)
+		b.out[i] += whole
+		granted += whole
+		b.excess[i] = exact - float64(whole) // reuse as the remainder key
+		if b.excess[i] > 0 {
+			b.rank = append(b.rank, i)
+		}
+	}
+	sort.Slice(b.rank, func(x, y int) bool {
+		if b.excess[b.rank[x]] != b.excess[b.rank[y]] {
+			return b.excess[b.rank[x]] > b.excess[b.rank[y]]
+		}
+		return b.rank[x] < b.rank[y]
+	})
+	for _, i := range b.rank {
+		if granted >= surplus {
+			break
+		}
+		b.out[i]++
+		granted++
+	}
+	return b.out
+}
+
+// SplitWatts divides an available power budget across chips: each chip
+// is floored at `floor[i]` (the watts its apps need just to idle at
+// their minimum operating points), then the remainder is granted
+// toward each chip's full need proportionally to need beyond the
+// floor, iterating so watts a satisfied chip cannot use flow to the
+// others — the float water-fill counterpart of SplitUnits. The
+// returned slice is valid until the next call.
+func (b *Broker) SplitWatts(avail float64, need, floor []float64) []float64 {
+	n := len(need)
+	b.outW = resizeF(b.outW, n)
+	if n == 1 {
+		b.outW[0] = avail
+		return b.outW
+	}
+	var floorSum float64
+	for i := range b.outW {
+		b.outW[i] = floor[i]
+		floorSum += floor[i]
+	}
+	remaining := avail - floorSum
+	if remaining <= 0 {
+		return b.outW
+	}
+	// A few passes reach the fixed point: chips whose need is met drop
+	// out and their unused grant is re-split over the rest.
+	for iter := 0; iter < 4 && remaining > 1e-12; iter++ {
+		var wantSum float64
+		for i := range b.outW {
+			if w := need[i] - b.outW[i]; w > 0 {
+				wantSum += w
+			}
+		}
+		if wantSum <= 0 {
+			break
+		}
+		grant := remaining
+		for i := range b.outW {
+			w := need[i] - b.outW[i]
+			if w <= 0 {
+				continue
+			}
+			g := grant * w / wantSum
+			if g > w {
+				g = w
+			}
+			b.outW[i] += g
+			remaining -= g
+		}
+	}
+	return b.outW
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

@@ -37,9 +37,19 @@ import (
 type Manager struct {
 	clock sim.Nower
 	total int // shared resource units (e.g. cores)
+	// budget caps the units the water-fill may hand out this period
+	// (0 = the full total). A federation broker moves it tick to tick;
+	// total stays fixed as the scaling-curve domain and admission bound,
+	// so cached demands survive budget changes.
+	budget int
 	// oversub permits more applications than units; the surplus is
 	// resolved by time-sharing (fractional Allocation.Share).
 	oversub bool
+	// lastPool / lastOversub detect walk-input changes that do not move
+	// any per-app sort key (a broker budget change, a mode flip).
+	lastPool     int
+	lastOversub  bool
+	haveLastPool bool
 	// incremental enables demand caching, binary-search inversion, and
 	// in-place order patching; false forces the reference full recompute.
 	incremental bool
@@ -130,6 +140,43 @@ func (m *Manager) SetOversubscription(on bool) { m.oversub = on }
 
 // Oversubscribed reports whether time-sharing admission is enabled.
 func (m *Manager) Oversubscribed() bool { return m.oversub }
+
+// SetBudget caps the units the next Step's water-fill may distribute.
+// A federation broker calls it each tick to move the global pool
+// between per-chip managers; the scaling-curve domain (total) and the
+// admission bound are unaffected, so cached demands stay valid. 0
+// restores the full pool. The budget is journaled tick state: inside
+// the daemon only the tick writer calls it.
+//
+//angstrom:journaled mutator
+func (m *Manager) SetBudget(units int) error {
+	if units < 0 || units > m.total {
+		return fmt.Errorf("core: budget %d outside [0, %d]", units, m.total)
+	}
+	m.budget = units
+	return nil
+}
+
+// Budget reports the current water-fill pool: the broker-set budget, or
+// the full total when none is set.
+func (m *Manager) Budget() int {
+	if m.budget > 0 {
+		return m.budget
+	}
+	return m.total
+}
+
+// AggregateDemand sums the fleet's cached unit demands as of the last
+// Step — the RLS/EWMA-corrected need a federation broker splits the
+// global budget by. Before the first Step it is zero (the broker's
+// floors then drive an even split).
+func (m *Manager) AggregateDemand() float64 {
+	var d float64
+	for _, a := range m.apps {
+		d += a.demand
+	}
+	return d
+}
 
 // SetIncremental toggles the incremental Step machinery (on by
 // default). With it off every Step re-prices every demand with the
@@ -344,7 +391,16 @@ func (m *Manager) Step() ([]Allocation, error) {
 	}
 	now := m.clock.Now()
 	n := len(m.apps)
-	oversub := n > m.total
+	pool := m.Budget()
+	oversub := n > pool
+	// A budget move or an oversubscription flip changes the walk's
+	// inputs (and the sort key's meaning) without touching any per-app
+	// key: force the walk, and on a mode flip the full sort too.
+	poolMoved := !m.haveLastPool || pool != m.lastPool
+	if m.haveLastPool && oversub != m.lastOversub {
+		m.orderValid = false
+	}
+	m.lastPool, m.lastOversub, m.haveLastPool = pool, oversub, true
 	m.changed = m.changed[:0]
 	anyKeyChanged := false
 	for i, a := range m.apps {
@@ -403,7 +459,7 @@ func (m *Manager) Step() ([]Allocation, error) {
 	case !anyKeyChanged:
 		// Same membership, same keys, same pool: the previous partition
 		// is byte-identical to what a full recompute would produce.
-		runWalk = false
+		runWalk = poolMoved
 	case len(m.changed)*8 > n:
 		m.fullSort()
 	default:
@@ -411,9 +467,9 @@ func (m *Manager) Step() ([]Allocation, error) {
 	}
 	if runWalk {
 		if oversub {
-			m.partitionShared()
+			m.partitionShared(pool)
 		} else {
-			m.partition()
+			m.partition(pool)
 		}
 	}
 
@@ -560,8 +616,8 @@ func (m *Manager) patchOrder() {
 // nobody demands stay unallocated — powering cores an application
 // cannot use is exactly the waste SEEC exists to avoid. Every
 // application keeps at least one unit.
-func (m *Manager) partition() {
-	remaining := m.total
+func (m *Manager) partition(pool int) {
+	remaining := pool
 	left := len(m.order)
 	weightLeft := m.weightLeft()
 	for _, idx := range m.order {
@@ -632,9 +688,9 @@ func clampShareWant(demand float64) float64 {
 // every application is pinned to one time-shared unit and the pool is
 // water-filled over *fractional* shares. The sort key already carries
 // the clamped want; the same progressive fair-share walk as the
-// integral case then yields sum(shares) <= total.
-func (m *Manager) partitionShared() {
-	remaining := float64(m.total)
+// integral case then yields sum(shares) <= pool.
+func (m *Manager) partitionShared(pool int) {
+	remaining := float64(pool)
 	left := len(m.order)
 	weightLeft := m.weightLeft()
 	for _, idx := range m.order {

@@ -103,6 +103,26 @@ func Builtins() []Spec {
 			Budgets: Budgets{MaxFleetRegretFrac: 0.05, MinFleetInBandFrac: 0.80, MaxAppRegretFrac: 0.10},
 		},
 		{
+			// Multi-chip federation: a memory-heavy fleet spread across two
+			// dies by the interference-aware placer, then one die's memory
+			// bandwidth collapses to 35% mid-run. The migration policy must
+			// walk applications off the saturated die until both dies serve
+			// their bands again; with migration disabled (the control the
+			// federation test runs) the stranded apps eat the regret budget.
+			Name: "federation", Seed: 31, Ticks: 200, TickSeconds: 0.5,
+			Cores: 48, WarmupTicks: 40, Oversubscribe: true,
+			Chips: 2, ChipMemBWGBps: 30,
+			Classes: []Class{
+				// BaseRate documents ocean's one-core model heart rate; in
+				// chip mode execution comes from the hardware model itself.
+				{Name: "mem", Workload: "ocean", Count: 6, MinRate: 22, MaxRate: 40, BaseRate: 13.6},
+			},
+			Events: []Event{
+				{AtTick: 90, Kind: EventChipSaturate, Chip: 0, Factor: 0.35},
+			},
+			Budgets: Budgets{MaxFleetRegretFrac: 0.10, MinFleetInBandFrac: 0.60, MaxAppRegretFrac: 0.30},
+		},
+		{
 			// Everything at once: priorities, diurnal churn, a flash crowd
 			// landing during a goal thrash, a phase shift, a crash, and a
 			// mass withdrawal. The budgets are looser than the single-chaos

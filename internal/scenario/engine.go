@@ -35,6 +35,9 @@ type Host interface {
 	// reporting how many applications survived. Hosts without a journal
 	// return an error.
 	CrashRestart() (restoredApps int, err error)
+	// SaturateChip derates one die's memory bandwidth to factor of
+	// nominal (chip-backed hosts only; factor 1 restores).
+	SaturateChip(chip int, factor float64) error
 	Close() error
 }
 
@@ -86,7 +89,11 @@ type liveApp struct {
 	emitted  int
 	lastWork float64
 	lastDist float64
-	tally    *appTally
+	// lastBeats is the daemon-side beat counter at the previous
+	// observation (chip mode derives emitted from its delta: the chip
+	// emits the beats, the engine only reads them back).
+	lastBeats uint64
+	tally     *appTally
 }
 
 // engine holds one run's state. All of it is deterministic in
@@ -95,6 +102,9 @@ type engine struct {
 	spec *Spec
 	h    Host
 	rng  *sim.RNG
+	// chipMode: applications run on the daemon's chip model and emit
+	// their own beats; the engine neither beats nor models execution.
+	chipMode bool
 
 	// Per-class compiled tables.
 	points    [][]oracle.Point // speedup points for the oracle
@@ -132,6 +142,7 @@ func Drive(spec Spec, h Host) (*Result, error) {
 		spec:      &spec,
 		h:         h,
 		rng:       sim.NewRNG(spec.Seed),
+		chipMode:  spec.Chips > 0,
 		points:    make([][]oracle.Point, nc),
 		workScale: make([]float64, nc),
 		phaseIdx:  make([]int, nc),
@@ -181,6 +192,7 @@ func Drive(spec Spec, h Host) (*Result, error) {
 		Scenario: spec.Name, Seed: spec.Seed, Ticks: spec.Ticks,
 		Crashes: e.crashes, PeakApps: e.peak,
 		Beats: st.Beats, Decisions: st.Decisions,
+		Migrations: st.Migrations,
 	}
 	collectScores(&sc, e.finished, e.tallies())
 	sum := sha256.Sum256(e.transcript)
@@ -219,10 +231,16 @@ func (e *engine) enroll(ci, t int) error {
 	e.seq[ci]++
 	id := e.nextID
 	e.nextID++
+	mode := server.ModeAdvisory
+	if e.chipMode {
+		// Chip-backed: the placer picks the die and the partition emits
+		// the app's beats as the hardware model executes.
+		mode = server.ModeChip
+	}
 	err := e.h.Enroll(server.EnrollRequest{
 		Name:     name,
 		Workload: c.Workload,
-		Mode:     server.ModeAdvisory,
+		Mode:     mode,
 		Window:   windowFor(c, e.spec.TickSeconds),
 		MinRate:  c.MinRate,
 		MaxRate:  c.MaxRate,
@@ -332,6 +350,13 @@ func (e *engine) events(t int) error {
 				}
 				e.crashes++
 				e.logf("event crash_restart restored=%d\n", n)
+			}
+		case EventChipSaturate:
+			if t == ev.AtTick {
+				if err := e.h.SaturateChip(ev.Chip, ev.Factor); err != nil {
+					return fmt.Errorf("scenario %s: %w", e.spec.Name, err)
+				}
+				e.logf("event chip_saturate chip=%d factor=%s\n", ev.Chip, fstr(ev.Factor))
 			}
 		}
 	}
@@ -460,6 +485,12 @@ func (e *engine) speedup(ci, units int) float64 {
 // divided by its current work per beat (phase program × noise), and the
 // integral beats land on the daemon through the real beat path.
 func (e *engine) emit() error {
+	if e.chipMode {
+		// Chip partitions emit their own beats as the hardware model
+		// executes; the daemon refuses API beats for chip-backed apps.
+		// observe() recovers per-app emission from the beat counters.
+		return nil
+	}
 	dt := e.spec.TickSeconds
 	for _, a := range e.apps {
 		c := &e.spec.Classes[a.class]
@@ -514,6 +545,11 @@ func (e *engine) observe(t int) {
 		if a.share <= 0 {
 			a.share = 1
 		}
+		if e.chipMode {
+			beats := statuses[i].Observation.Beats
+			a.emitted = int(beats - a.lastBeats)
+			a.lastBeats = beats
+		}
 	}
 	e.logf("tick %d apps=%d\n", t, len(statuses))
 	for i := range statuses {
@@ -541,6 +577,16 @@ func (e *engine) score(t int) {
 	dem, oks := e.demScratch[:n], e.okScratch[:n]
 	fleetDemand := 0.0
 	for i, a := range e.apps {
+		if e.chipMode {
+			// The oracle's core-count model does not price shared-resource
+			// contention, so it cannot say what a chip fleet could have
+			// delivered; regret is charged over all live time instead —
+			// chip-mode scenarios must declare bands the hardware model
+			// meets, and a saturated die shows up as regret until the
+			// fleet migrates its way out.
+			dem[i], oks[i] = 0, true
+			continue
+		}
 		c := &e.spec.Classes[a.class]
 		scaled := a.minRate * a.lastWork / c.BaseRate
 		d, ok := oracleDemand(e.points[a.class], scaled)
@@ -551,7 +597,7 @@ func (e *engine) score(t int) {
 			fleetDemand += float64(e.spec.Cores)
 		}
 	}
-	feasible := fleetDemand <= float64(e.spec.Cores)+1e-9
+	feasible := e.chipMode || fleetDemand <= float64(e.spec.Cores)+1e-9
 	for i, a := range e.apps {
 		achieved := float64(a.emitted) / dt
 		target := a.minRate

@@ -39,6 +39,14 @@ func NewDaemonHost(spec Spec, opts Options) (*DaemonHost, error) {
 			TickWorkers:   opts.TickWorkers,
 		},
 	}
+	if spec.Chips > 0 {
+		h.cfg.Chip = &server.ChipConfig{
+			Chips:           spec.Chips,
+			Tiles:           spec.ChipTiles,
+			MemBandwidthBps: spec.ChipMemBWGBps * 1e9,
+			MigrateSlowdown: spec.MigrateSlowdown,
+		}
+	}
 	if spec.needsJournal() {
 		h.fs = journal.NewMemFS()
 		h.cfg.DataDir = "scenario"
@@ -65,6 +73,9 @@ func (h *DaemonHost) Beat(name string, count int, distortion float64) error {
 func (h *DaemonHost) Tick()                       { h.d.Tick() }
 func (h *DaemonHost) List() []server.AppStatus    { return h.d.List() }
 func (h *DaemonHost) Stats() server.StatsResponse { return h.d.Stats() }
+func (h *DaemonHost) SaturateChip(chip int, factor float64) error {
+	return h.d.SaturateChip(chip, factor)
+}
 
 // CrashRestart closes the current daemon — with snapshots disabled that
 // is a journal flush, not a checkpoint — and boots a successor from the

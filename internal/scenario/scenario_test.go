@@ -39,7 +39,7 @@ func TestScenarioReplayByteIdentical(t *testing.T) {
 		{Shards: 4, TickWorkers: 3},
 		{Shards: 8, TickWorkers: 2},
 	}
-	for _, name := range []string{"flash-crowd", "slo-classes", "crash-restart", "torture"} {
+	for _, name := range []string{"flash-crowd", "slo-classes", "crash-restart", "torture", "federation"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -175,6 +175,46 @@ func TestScenarioCrashRestartRecoversFleet(t *testing.T) {
 	}
 }
 
+// TestScenarioFederationMigrationRescues is the federation gate: when
+// one die's memory bandwidth collapses, live migration must walk
+// applications off it until the fleet serves its bands again. The
+// control run — same spec, migration disabled — must visibly strand
+// the saturated die's tenants, or the gate proves nothing.
+func TestScenarioFederationMigrationRescues(t *testing.T) {
+	spec, err := ByName("federation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Scorecard.CheckBudgets(spec.Budgets); err != nil {
+		t.Fatalf("federation budgets: %v", err)
+	}
+	if res.Scorecard.Migrations == 0 {
+		t.Fatal("saturating a die caused no migrations")
+	}
+
+	control := spec
+	control.MigrateSlowdown = -1 // migration disabled: the stranded-fleet control
+	ctl, err := Run(control, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctl.Scorecard.Migrations != 0 {
+		t.Fatalf("control migrated %d times with migration disabled", ctl.Scorecard.Migrations)
+	}
+	if ctl.Scorecard.FleetRegretFrac < 2*res.Scorecard.FleetRegretFrac {
+		t.Fatalf("control regret %.4f not clearly worse than migrated %.4f — saturation isn't biting",
+			ctl.Scorecard.FleetRegretFrac, res.Scorecard.FleetRegretFrac)
+	}
+	if ctl.Scorecard.FleetInBandFrac > res.Scorecard.FleetInBandFrac-0.2 {
+		t.Fatalf("control in-band %.4f too close to migrated %.4f",
+			ctl.Scorecard.FleetInBandFrac, res.Scorecard.FleetInBandFrac)
+	}
+}
+
 // TestCrashRestartRequiresJournal: the chaos host refuses to fake a
 // crash when the daemon has no journal to recover from.
 func TestCrashRestartRequiresJournal(t *testing.T) {
@@ -293,7 +333,42 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 		"thrash window inverted": func(s *Spec) {
 			s.Events = []Event{{AtTick: 5, Kind: EventGoalThrash, Class: "web", Factor: 2, EveryTicks: 2, UntilTick: 5}}
 		},
-		"nan budget": func(s *Spec) { s.Budgets.MaxFleetRegretFrac = nan() },
+		"nan budget":        func(s *Spec) { s.Budgets.MaxFleetRegretFrac = nan() },
+		"negative chips":    func(s *Spec) { s.Chips = -1 },
+		"too many chips":    func(s *Spec) { s.Chips = maxChips + 1 },
+		"cores below chips": func(s *Spec) { s.Chips = s.Cores + 1 },
+		"tiles without chips": func(s *Spec) {
+			s.ChipTiles = 16
+		},
+		"bandwidth without chips": func(s *Spec) {
+			s.ChipMemBWGBps = 30
+		},
+		"migrate slowdown without chips": func(s *Spec) {
+			s.MigrateSlowdown = -1
+		},
+		"migrate slowdown of one": func(s *Spec) {
+			s.Chips = 2
+			s.MigrateSlowdown = 1
+		},
+		"nan chip bandwidth": func(s *Spec) {
+			s.Chips = 2
+			s.ChipMemBWGBps = nan()
+		},
+		"chip_saturate without chips": func(s *Spec) {
+			s.Events = []Event{{AtTick: 5, Kind: EventChipSaturate, Factor: 0.5}}
+		},
+		"chip_saturate chip out of range": func(s *Spec) {
+			s.Chips = 2
+			s.Events = []Event{{AtTick: 5, Kind: EventChipSaturate, Chip: 2, Factor: 0.5}}
+		},
+		"chip_saturate factor above one": func(s *Spec) {
+			s.Chips = 2
+			s.Events = []Event{{AtTick: 5, Kind: EventChipSaturate, Chip: 0, Factor: 1.5}}
+		},
+		"chip_saturate factor zero": func(s *Spec) {
+			s.Chips = 2
+			s.Events = []Event{{AtTick: 5, Kind: EventChipSaturate, Chip: 0}}
+		},
 	}
 	for name, mutate := range cases {
 		s := base()

@@ -59,6 +59,9 @@ type Scorecard struct {
 	PeakApps int `json:"peak_apps"`
 	// Crashes counts crash-restart events executed.
 	Crashes int `json:"crashes"`
+	// Migrations counts inter-die partition moves the daemon applied
+	// (chip-backed scenarios only).
+	Migrations uint64 `json:"migrations,omitempty"`
 	// Beats and Decisions are the daemon's final counters.
 	Beats     uint64 `json:"beats"`
 	Decisions uint64 `json:"decisions"`

@@ -38,6 +38,12 @@ const (
 	// this tick on (a program-phase change that invalidates every
 	// cached demand of the class).
 	EventPhaseShift = "phase_shift"
+	// EventChipSaturate derates one die's off-chip memory bandwidth to
+	// Factor of nominal (a thermal throttle / failed channel): every
+	// partition on the die suddenly contends for less capacity, and the
+	// fleet's migration policy is what's under test. Factor 1 restores
+	// nominal. Requires a chip-backed scenario (Chips >= 1).
+	EventChipSaturate = "chip_saturate"
 )
 
 // Spec is one declarative scenario: a fleet of application classes, a
@@ -56,6 +62,25 @@ type Spec struct {
 	Cores int `json:"cores"`
 	// Oversubscribe admits fleets beyond one app per core (time-shared).
 	Oversubscribe bool `json:"oversubscribe,omitempty"`
+	// Chips, when positive, runs the scenario against a chip-backed
+	// daemon: a fleet of Chips identical dies, enrollments placed by
+	// predicted shared-resource pressure and migrated off saturated
+	// dies. Applications then run on the daemon's hardware model —
+	// their beats are chip-emitted, so classes' BaseRate/noise/phase
+	// programs only shape goals and scoring, not execution.
+	Chips int `json:"chips,omitempty"`
+	// ChipTiles is each die's physical tile count (0 = the daemon's
+	// default sizing). Only meaningful with Chips >= 1.
+	ChipTiles int `json:"chip_tiles,omitempty"`
+	// ChipMemBWGBps overrides each die's off-chip memory bandwidth in
+	// GB/s (0 = the chip model's default). Only meaningful with
+	// Chips >= 1.
+	ChipMemBWGBps float64 `json:"chip_mem_bw_gbps,omitempty"`
+	// MigrateSlowdown passes the daemon's migration trigger through:
+	// 0 = the server default, negative disables migration entirely
+	// (the no-migration control for federation scenarios). Only
+	// meaningful with Chips >= 2.
+	MigrateSlowdown float64 `json:"migrate_slowdown,omitempty"`
 	// WarmupTicks excludes the controllers' convergence transient from
 	// scoring (the ticks still run and still appear in the transcript).
 	WarmupTicks int     `json:"warmup_ticks,omitempty"`
@@ -121,6 +146,8 @@ type Event struct {
 	// EveryTicks/UntilTick bound the goal thrash's flip cadence.
 	EveryTicks int `json:"every_ticks,omitempty"`
 	UntilTick  int `json:"until_tick,omitempty"`
+	// Chip is the die index chip_saturate targets.
+	Chip int `json:"chip,omitempty"`
 }
 
 // Budgets are the scenario's acceptance gates; zero fields are ungated.
@@ -145,6 +172,7 @@ const (
 	maxEvents    = 10_000
 	maxPriority  = 1e6
 	maxWorkScale = 100
+	maxChips     = 64
 )
 
 func validName(s string) bool {
@@ -173,6 +201,24 @@ func (s *Spec) Validate() error {
 	}
 	if s.WarmupTicks < 0 || s.WarmupTicks >= s.Ticks {
 		return fmt.Errorf("scenario %s: warmup_ticks %d outside [0, ticks)", s.Name, s.WarmupTicks)
+	}
+	if s.Chips < 0 || s.Chips > maxChips {
+		return fmt.Errorf("scenario %s: chips %d outside [0, %d]", s.Name, s.Chips, maxChips)
+	}
+	if s.Chips > 0 && s.Cores < s.Chips {
+		return fmt.Errorf("scenario %s: cores %d below chips %d (each die needs a core unit)", s.Name, s.Cores, s.Chips)
+	}
+	if s.ChipTiles < 0 || s.ChipTiles > 4096 {
+		return fmt.Errorf("scenario %s: chip_tiles %d outside [0, 4096]", s.Name, s.ChipTiles)
+	}
+	if !finiteNonNeg(s.ChipMemBWGBps) || s.ChipMemBWGBps > 100_000 {
+		return fmt.Errorf("scenario %s: chip_mem_bw_gbps %g outside [0, 100000]", s.Name, s.ChipMemBWGBps)
+	}
+	if math.IsNaN(s.MigrateSlowdown) || math.IsInf(s.MigrateSlowdown, 0) || s.MigrateSlowdown >= 1 {
+		return fmt.Errorf("scenario %s: migrate_slowdown %g not below 1 and finite", s.Name, s.MigrateSlowdown)
+	}
+	if s.Chips == 0 && (s.ChipTiles != 0 || s.ChipMemBWGBps != 0 || s.MigrateSlowdown != 0) {
+		return fmt.Errorf("scenario %s: chip parameters set without chips", s.Name)
 	}
 	if len(s.Classes) == 0 || len(s.Classes) > maxClasses {
 		return fmt.Errorf("scenario %s: %d classes outside [1, %d]", s.Name, len(s.Classes), maxClasses)
@@ -304,6 +350,16 @@ func (ev *Event) validate(s *Spec, classes map[string]bool) error {
 			return fmt.Errorf("scenario %s: goal_thrash until_tick %d outside (at_tick, ticks]", s.Name, ev.UntilTick)
 		}
 	case EventCrashRestart:
+	case EventChipSaturate:
+		if s.Chips < 1 {
+			return fmt.Errorf("scenario %s: chip_saturate in a chipless scenario", s.Name)
+		}
+		if ev.Chip < 0 || ev.Chip >= s.Chips {
+			return fmt.Errorf("scenario %s: chip_saturate chip %d outside [0, %d)", s.Name, ev.Chip, s.Chips)
+		}
+		if !(finitePos(ev.Factor) && ev.Factor <= 1) {
+			return fmt.Errorf("scenario %s: chip_saturate factor %g outside (0, 1]", s.Name, ev.Factor)
+		}
 	case EventPhaseShift:
 		needsClass = true
 		if !finitePos(ev.Factor) || ev.Factor > maxWorkScale {

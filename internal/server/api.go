@@ -41,6 +41,11 @@ type EnrollRequest struct {
 	// to it. 0 means the default weight 1; must be finite, positive, and
 	// at most 1e6.
 	Priority float64 `json:"priority,omitempty"`
+	// Chip, when set, pins the enrollment to that die of a multi-chip
+	// fleet instead of letting the placer choose. The daemon stamps the
+	// placer's choice into the journaled record, so replayed enrollments
+	// always carry a pin.
+	Chip *int `json:"chip,omitempty"`
 }
 
 // BeatRequest ingests a batch of heartbeats.
@@ -100,6 +105,9 @@ type AllocationView struct {
 // ChipView is a chip-backed app's hardware state: its partition's
 // configuration and the Sensor sample behind the controller's feedback.
 type ChipView struct {
+	// Chip is the die this app's partition lives on (fleet placement;
+	// may change when the daemon migrates the app off a saturated die).
+	Chip      int     `json:"chip"`
 	Cores     int     `json:"cores"`
 	CacheKB   int     `json:"cache_kb"`
 	VF        string  `json:"vf"`
@@ -164,12 +172,16 @@ type StatsResponse struct {
 	Apps     int `json:"apps"`
 	ChipApps int `json:"chip_apps,omitempty"`
 	Cores    int `json:"cores"`
+	// Chips is the fleet's die count (absent for advisory daemons).
+	Chips int `json:"chips,omitempty"`
 	// Shards is the application-directory shard count (the tick fans
 	// its per-app phases across these).
-	Shards        int     `json:"shards,omitempty"`
+	Shards    int    `json:"shards,omitempty"`
 	Ticks     uint64 `json:"ticks"`
 	Beats     uint64 `json:"beats"`
 	Decisions uint64 `json:"decisions"`
+	// Migrations counts inter-die partition moves the fleet has applied.
+	Migrations uint64 `json:"migrations,omitempty"`
 	// Evicted counts stale applications withdrawn by -beat-timeout.
 	Evicted      uint64  `json:"evicted,omitempty"`
 	ClockSeconds float64 `json:"clock_seconds"`
@@ -188,10 +200,12 @@ type StatsResponse struct {
 	Journal *JournalStats `json:"journal,omitempty"`
 }
 
-// ChipStatusResponse is the shared chip's tile-ledger snapshot.
+// ChipStatusResponse is one die's tile-ledger snapshot.
 //
-//	GET /v1/chip
+//	GET /v1/chip (single-die daemons), GET /v1/chips (per die)
 type ChipStatusResponse struct {
+	// Chip is the die index within the fleet.
+	Chip int `json:"chip"`
 	// Tiles is the physical tile pool.
 	Tiles int `json:"tiles"`
 	// Partitions is the number of applications holding a partition.
@@ -211,9 +225,23 @@ type ChipStatusResponse struct {
 	MemDemandBps    float64 `json:"mem_demand_bps"`
 	MemRho          float64 `json:"mem_rho"`
 	NoCRho          float64 `json:"noc_rho"`
+	// MemBandwidthScale is the die's current bandwidth derating in
+	// (0, 1]: 1 nominal, lower when a thermal throttle / failed channel
+	// (or the chaos harness) has taken capacity away.
+	MemBandwidthScale float64 `json:"mem_bandwidth_scale,omitempty"`
 	// LedgerFaults counts tile-ledger accounting violations the chip has
 	// caught; any nonzero value is a bug.
 	LedgerFaults uint64 `json:"ledger_faults,omitempty"`
+}
+
+// ChipsResponse is the fleet-wide ledger view.
+//
+//	GET /v1/chips
+type ChipsResponse struct {
+	// Chips is every die's ledger snapshot, in die order.
+	Chips []ChipStatusResponse `json:"chips"`
+	// Migrations counts inter-die partition moves applied so far.
+	Migrations uint64 `json:"migrations"`
 }
 
 // errorResponse is the uniform error body.

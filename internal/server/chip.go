@@ -23,7 +23,12 @@ import (
 
 // ChipConfig enables and tunes chip-backed serving.
 type ChipConfig struct {
-	// Tiles is the physical tile count of the shared chip (default: the
+	// Chips is the number of identical dies in the fleet (default 1).
+	// Each die has its own tile ledger, contention ledger, and manager;
+	// enrollments are placed across dies by predicted shared-resource
+	// pressure and may migrate between them (see MigrateSlowdown).
+	Chips int
+	// Tiles is the physical tile count of each die (default: the
 	// daemon's core pool, capped at the model's MaxCores).
 	Tiles int
 	// CoreOptions is the ascending core-allocation ladder offered to
@@ -46,6 +51,12 @@ type ChipConfig struct {
 	// NoCFlitBW, when positive, overrides the mesh's per-link bandwidth
 	// in flits/cycle (the NoC side of the contention ledger).
 	NoCFlitBW float64
+	// MigrateSlowdown is the contention slowdown below which a
+	// chip-backed application becomes a migration candidate in a
+	// multi-die fleet (default 0.8: an app losing more than 20% of its
+	// isolated throughput to co-tenant traffic may move). Negative
+	// disables migration.
+	MigrateSlowdown float64
 	// Params overrides the chip model constants (default DefaultParams).
 	Params *angstrom.Params
 	// KnobWrap, when non-nil, wraps each partition's raw hardware knobs
@@ -56,6 +67,12 @@ type ChipConfig struct {
 }
 
 func (c *ChipConfig) fill(cores int) {
+	if c.Chips == 0 {
+		c.Chips = 1
+	}
+	if c.MigrateSlowdown == 0 {
+		c.MigrateSlowdown = 0.8
+	}
 	if c.Params == nil {
 		p := angstrom.DefaultParams()
 		c.Params = &p
@@ -87,6 +104,9 @@ func (c *ChipConfig) fill(cores int) {
 }
 
 func (c *ChipConfig) validate() error {
+	if c.Chips < 1 {
+		return fmt.Errorf("server: fleet of %d chips", c.Chips)
+	}
 	if c.Tiles < 1 {
 		return fmt.Errorf("server: chip with %d tiles", c.Tiles)
 	}
@@ -138,38 +158,40 @@ func (k *cappedKnob) SetLevel(level int) error {
 func (d *Daemon) bindChip(a *app, spec workload.Spec, now sim.Time) error {
 	cc := d.cfg.Chip
 	base := angstrom.Config{Cores: 1, CacheKB: cc.CacheOptionsKB[0], VF: 0}
-	share, err := d.makeRoom()
+	share, err := d.makeRoom(a.chip)
 	if err != nil {
 		return err
 	}
 	return d.bindChipAt(a, spec, base, share, now)
 }
 
-// bindChipAt binds a to a partition acquired at an explicit start
-// configuration, time share, and time. Fresh enrollments start at the
-// base configuration; snapshot restore re-acquires each partition at
-// its recorded placement, which re-sums the tile ledger to its
-// pre-crash value. The action space (and the nominal power the power
-// rebalance prices from) is always built against the canonical base
-// configuration, so a restored app's controller sees the same effect
-// tables an uncrashed one does. Reached only from journaling writers
-// (Enroll live, restoreApp on recovery).
+// bindChipAt binds a to a partition of die a.chip acquired at an
+// explicit start configuration, time share, and time. Fresh enrollments
+// start at the base configuration; snapshot restore and migration
+// re-acquire each partition at its recorded placement, which re-sums
+// the tile ledger to its pre-crash value. The action space (and the
+// nominal power the power rebalance prices from) is always built
+// against the canonical base configuration, so a restored app's
+// controller sees the same effect tables an uncrashed one does. Reached
+// only from journaling writers (Enroll live, restoreApp on recovery,
+// applyMigration).
 //
 //angstrom:journaled writer
 func (d *Daemon) bindChipAt(a *app, spec workload.Spec, start angstrom.Config, share float64, now sim.Time) error {
 	cc := d.cfg.Chip
+	sc := d.fleet.Chip(a.chip)
 	p := *cc.Params
 	base := angstrom.Config{Cores: 1, CacheKB: cc.CacheOptionsKB[0], VF: 0}
 	inst := workload.NewInstance(spec, seedFor(a.name))
 
-	part, err := d.chip.Acquire(a.name, inst, a.mon, start, share, now)
+	part, err := sc.Acquire(a.name, inst, a.mon, start, share, now)
 	if err != nil {
 		return fmt.Errorf("server: %w: %v", ErrPoolExhausted, err)
 	}
 
 	coreK, cacheK, vfK, err := part.Knobs(cc.CoreOptions, cc.CacheOptionsKB)
 	if err != nil {
-		d.chip.Release(a.name)
+		sc.Release(a.name)
 		return err
 	}
 	wrap := func(k actuator.Knob) actuator.Knob {
@@ -184,22 +206,27 @@ func (d *Daemon) bindChipAt(a *app, spec workload.Spec, start angstrom.Config, s
 
 	space, err := buildChipSpace(p, spec, base, cc, coreKnob, cacheKnob, vfKnob)
 	if err != nil {
-		d.chip.Release(a.name)
+		sc.Release(a.name)
 		return err
 	}
 	rt, err := core.New(a.name, d.clock, a.mon, space, core.Options{})
 	if err != nil {
-		d.chip.Release(a.name)
+		sc.Release(a.name)
 		return err
 	}
-	a.part = part
+	// rt is swapped under a.mu because a migration replaces it while
+	// concurrent status readers render the standing decision against it;
+	// part is an atomic pointer for the same reason.
+	a.mu.Lock()
 	a.rt = rt
+	a.mu.Unlock()
+	a.part.Store(part)
 	// Nominal active watts at the *base* configuration (what Acquire
 	// caches for a fresh enrollment; recomputed explicitly so a restore
 	// at a non-base placement prices the power split identically).
 	baseM, err := angstrom.Evaluate(p, spec, base)
 	if err != nil {
-		d.chip.Release(a.name)
+		sc.Release(a.name)
 		return err
 	}
 	a.nomActiveW = math.Max(baseM.PowerW-p.UncoreW, 1e-6)
@@ -211,19 +238,21 @@ func (d *Daemon) bindChipAt(a *app, spec workload.Spec, start angstrom.Config, s
 	return nil
 }
 
-// makeRoom returns the time share a new chip partition should start
-// with. When the pool has a free core the newcomer gets a dedicated
-// one; otherwise (oversubscribed fleet) every existing partition is
-// shrunk proportionally toward the new fair share so the newcomer fits.
-// Called with d.mu held (which serializes it against the tick's share
-// pass); the incumbent scan walks the sharded directory. Reached only
-// from the Enroll writer: the incumbent shrinks it applies are covered
-// by the enrollment record (replay re-runs the same shrink).
+// makeRoom returns the time share a new chip partition on die `chip`
+// should start with. When that die has a free core the newcomer gets a
+// dedicated one; otherwise (oversubscribed fleet) every existing
+// partition *on that die* is shrunk proportionally toward the new fair
+// share so the newcomer fits — co-located dies are untouched. Called
+// with d.mu held (which serializes it against the tick's share pass);
+// the incumbent scan walks the sharded directory. Reached only from the
+// Enroll writer: the incumbent shrinks it applies are covered by the
+// enrollment record (replay re-runs the same shrink).
 //
 //angstrom:journaled writer
-func (d *Daemon) makeRoom() (float64, error) {
-	tiles := float64(d.chip.Tiles())
-	parts, used := d.chip.Usage()
+func (d *Daemon) makeRoom(chip int) (float64, error) {
+	sc := d.fleet.Chip(chip)
+	tiles := float64(sc.Tiles())
+	parts, used := sc.Usage()
 	free := tiles - used
 	if free >= 1 {
 		return 1, nil
@@ -246,18 +275,19 @@ func (d *Daemon) makeRoom() (float64, error) {
 	// over the mass still above the floor until the invariant holds (or
 	// everyone is floored and the pool is genuinely full).
 	for iter := 0; iter < 2; iter++ {
-		_, used = d.chip.Usage()
+		_, used = sc.Usage()
 		excess := used - (tiles - slot)
 		if excess <= 1e-9 {
 			break
 		}
 		above := 0.0 // shrinkable core-equivalents: share mass beyond the floor
 		for _, other := range incumbents {
-			if other.part == nil {
+			part := other.partition()
+			if part == nil || other.chip != chip {
 				continue
 			}
-			if s := other.part.Share(); s > minChipShare {
-				above += float64(other.part.Config().Cores) * (s - minChipShare)
+			if s := part.Share(); s > minChipShare {
+				above += float64(part.Config().Cores) * (s - minChipShare)
 			}
 		}
 		if above <= 1e-12 {
@@ -268,16 +298,17 @@ func (d *Daemon) makeRoom() (float64, error) {
 			f = 0
 		}
 		for _, other := range incumbents {
-			if other.part == nil {
+			part := other.partition()
+			if part == nil || other.chip != chip {
 				continue
 			}
-			if s := other.part.Share(); s > minChipShare {
+			if s := part.Share(); s > minChipShare {
 				// shrink only: cannot overdraw the ledger
-				_ = other.part.SetShare(minChipShare + (s-minChipShare)*f)
+				_ = part.SetShare(minChipShare + (s-minChipShare)*f)
 			}
 		}
 	}
-	_, used = d.chip.Usage()
+	_, used = sc.Usage()
 	free = tiles - used
 	if free < minChipShare {
 		return 0, fmt.Errorf("server: %w (chip pool full)", ErrPoolExhausted)
@@ -359,7 +390,8 @@ func buildChipSpace(p angstrom.Params, spec workload.Spec, base angstrom.Config,
 // elapsed wall/simulated interval, advancing the partition so it emits
 // heartbeats at model-exact times. Called only from the tick goroutine.
 func (d *Daemon) runChipInterval(a *app, now sim.Time) {
-	start := a.part.Now()
+	part := a.partition()
+	start := part.Now()
 	dt := now - start
 	if dt <= 0 {
 		return
@@ -376,14 +408,14 @@ func (d *Daemon) runChipInterval(a *app, now sim.Time) {
 		if t > now {
 			t = now
 		}
-		if err := a.part.Advance(t); err != nil {
+		if err := part.Advance(t); err != nil {
 			if actErr == nil {
 				actErr = err
 			}
 			break
 		}
 	}
-	if err := a.part.Advance(now); err != nil && actErr == nil {
+	if err := part.Advance(now); err != nil && actErr == nil {
 		actErr = err
 	}
 	// Park the knobs at the schedule's duration-weighted configuration
@@ -455,30 +487,80 @@ func (d *Daemon) rebalancePowerCaps(chipApps []*app) {
 		d.powerOvercommit.Store(0)
 		return
 	}
-	avail := d.cfg.Chip.PowerBudgetW - d.cfg.Chip.Params.UncoreW
+	perDie := d.cfg.Chip.PowerBudgetW - d.cfg.Chip.Params.UncoreW
 	needX := make([]float64, len(chipApps))
-	floored := make([]bool, len(chipApps))
 	for i, a := range chipApps {
 		needX[i] = 1
 		goals := a.mon.Goals()
 		if g := goals.Performance; g != nil {
 			base := a.rt.BaseEstimate() // observed rate at speedup 1
 			if base <= 0 {
-				base = a.part.Metrics().HeartRate
+				base = a.partition().Metrics().HeartRate
 			}
 			if base > 0 {
 				needX[i] = a.rt.RequiredPowerX(g.Target() / base)
 			}
 		}
 	}
-	// Water-fill with floors: each round splits the budget left after
-	// charging floored apps across the unfloored, flooring any app whose
-	// slice falls below its cheapest configuration. Each round floors at
-	// least one more app, so len(chipApps) rounds suffice.
+	nChips := len(d.mgrs)
+	if nChips == 1 {
+		over := d.rebalanceChipPower(chipApps, needX, perDie)
+		if over < 1e-6 {
+			over = 0 // float residue of an exactly-filled budget
+		}
+		d.powerOvercommit.Store(math.Float64bits(over))
+		return
+	}
+	// Federated budget: the fleet shares N× the per-die envelope, and
+	// the broker water-fills it across dies by aggregate goal-implied
+	// need (floored at each die's minimum operating points) before the
+	// per-die pass splits each grant across its tenants. A lightly
+	// loaded die's slack flows to a hot one instead of idling.
+	apps := make([][]*app, nChips)
+	nx := make([][]float64, nChips)
+	for i, a := range chipApps {
+		apps[a.chip] = append(apps[a.chip], a)
+		nx[a.chip] = append(nx[a.chip], needX[i])
+	}
+	need := make([]float64, nChips)
+	floorW := make([]float64, nChips)
+	for c := range apps {
+		for i, a := range apps[c] {
+			need[c] += nx[c][i] * a.nomActiveW
+			floorW[c] += a.minPowerX * a.nomActiveW
+		}
+	}
+	grants := d.broker.SplitWatts(perDie*float64(nChips), need, floorW)
+	var over float64
+	for c := range apps {
+		if len(apps[c]) == 0 {
+			continue
+		}
+		if o := d.rebalanceChipPower(apps[c], nx[c], grants[c]); o > 0 {
+			over += o
+		}
+	}
+	if over < 1e-6 {
+		over = 0
+	}
+	d.powerOvercommit.Store(math.Float64bits(over))
+}
+
+// rebalanceChipPower splits one die's power grant across its tenants
+// (see rebalancePowerCaps) and returns the overdraft: the watts by
+// which the floored caps exceed the grant (negative when slack is
+// left). Water-fill with floors: each round splits the budget left
+// after charging floored apps across the unfloored, flooring any app
+// whose slice falls below its cheapest configuration. Each round floors
+// at least one more app, so len(apps) rounds suffice.
+//
+//angstrom:journaled writer
+func (d *Daemon) rebalanceChipPower(apps []*app, needX []float64, avail float64) float64 {
+	floored := make([]bool, len(apps))
 	scale := 0.0
-	for round := 0; round <= len(chipApps); round++ {
+	for round := 0; round <= len(apps); round++ {
 		rem, sum := avail, 0.0
-		for i, a := range chipApps {
+		for i, a := range apps {
 			if floored[i] {
 				rem -= a.minPowerX * a.nomActiveW
 			} else {
@@ -490,7 +572,7 @@ func (d *Daemon) rebalancePowerCaps(chipApps []*app) {
 		}
 		scale = math.Max(rem/sum, 0)
 		changed := false
-		for i, a := range chipApps {
+		for i, a := range apps {
 			if !floored[i] && needX[i]*scale < a.minPowerX {
 				floored[i] = true
 				changed = true
@@ -501,7 +583,7 @@ func (d *Daemon) rebalancePowerCaps(chipApps []*app) {
 		}
 	}
 	capped := 0.0
-	for i, a := range chipApps {
+	for i, a := range apps {
 		capX := needX[i] * scale
 		if floored[i] || capX < a.minPowerX {
 			capX = a.minPowerX
@@ -514,9 +596,5 @@ func (d *Daemon) rebalancePowerCaps(chipApps []*app) {
 			a.lastCapX = capX
 		}
 	}
-	over := capped - avail
-	if over < 1e-6 {
-		over = 0 // float residue of an exactly-filled budget
-	}
-	d.powerOvercommit.Store(math.Float64bits(over))
+	return capped - avail
 }

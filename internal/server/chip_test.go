@@ -193,7 +193,7 @@ func TestChipDaemonOversubscribedNeverExceedsPool(t *testing.T) {
 }
 
 func usage(d *Daemon) (int, float64) {
-	parts, used := d.chip.Usage()
+	parts, used := d.fleet.Chip(0).Usage()
 	return parts, used
 }
 
@@ -497,11 +497,11 @@ func TestMakeRoomDeepOversubscription(t *testing.T) {
 	// Skew the fleet: 50 partitions pinned at the minimum share, one
 	// holding nearly everything else (shrinks first so the grow fits).
 	for i := 1; i < incumbents; i++ {
-		if err := mustApp(t, d, fmt.Sprintf("inc-%02d", i)).part.SetShare(minChipShare); err != nil {
+		if err := mustApp(t, d, fmt.Sprintf("inc-%02d", i)).partition().SetShare(minChipShare); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := mustApp(t, d, "inc-00").part.SetShare(0.49); err != nil {
+	if err := mustApp(t, d, "inc-00").partition().SetShare(0.49); err != nil {
 		t.Fatal(err)
 	}
 	if _, used := usage(d); used < 0.98 {
@@ -516,10 +516,10 @@ func TestMakeRoomDeepOversubscription(t *testing.T) {
 		t.Fatalf("ledger overcommitted: %g > %d", used, tiles)
 	}
 	slot := float64(tiles) / float64(incumbents+1)
-	if got := mustApp(t, d, "newcomer").part.Share(); got < slot*0.9 {
+	if got := mustApp(t, d, "newcomer").partition().Share(); got < slot*0.9 {
 		t.Fatalf("newcomer share %g, want ~fair slot %g", got, slot)
 	}
-	if f := d.chip.LedgerFaults(); f != 0 {
+	if f := d.fleet.Chip(0).LedgerFaults(); f != 0 {
 		t.Fatalf("%d ledger faults", f)
 	}
 }

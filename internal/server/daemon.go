@@ -99,9 +99,10 @@ type Config struct {
 	// byte-identical for any worker count.
 	TickWorkers int
 	// Chip, when non-nil, turns on chip-backed serving: every enrolled
-	// application is bound to a partition of one shared angstrom chip
-	// and actuated through real hardware knobs (cores, L2, DVFS)
-	// instead of an advisory ladder.
+	// application is bound to a partition of a shared angstrom chip —
+	// one die by default, a placed and migratable fleet of ChipConfig.
+	// Chips dies — and actuated through real hardware knobs (cores, L2,
+	// DVFS) instead of an advisory ladder.
 	Chip *ChipConfig
 	// DataDir, when set, turns on the durability layer (persist.go):
 	// control-plane mutations are journaled to a write-ahead log under
@@ -177,12 +178,22 @@ type app struct {
 	goalEpoch atomic.Uint64
 
 	// Chip-backed state (nil/zero for advisory apps). part is the app's
-	// slice of the shared chip; units mirrors the manager's latest unit
-	// grant for the core-knob clamp; pending is the previous decision's
-	// schedule, executed by the next tick; settle is the schedule's
-	// duration-weighted configuration the knobs are parked at between
-	// intervals (tick workers only).
-	part       *angstrom.Partition
+	// slice of its chip — an atomic pointer because live migration
+	// rebinds it while lock-free beat/status readers race the tick;
+	// chip is the die index it is placed on (0 for advisory apps,
+	// rewritten under d.mu on migration); units mirrors the manager's
+	// latest unit grant for the core-knob clamp; pending is the previous
+	// decision's schedule, executed by the next tick; settle is the
+	// schedule's duration-weighted configuration the knobs are parked at
+	// between intervals (tick workers only).
+	part       atomic.Pointer[angstrom.Partition]
+	chip       int
+	// migratedAt is when the app last moved between dies (zero if
+	// never): the migration scan won't pick it as a victim again until
+	// its controller has had a cooldown to re-converge on the new die.
+	// Written under d.mu on migration, read by the tick goroutine;
+	// persisted by snapshots.
+	migratedAt sim.Time
 	units      atomic.Int64
 	pending    []core.Slice
 	settle     actuator.Config
@@ -214,6 +225,13 @@ type app struct {
 // clamp reads it from the actuation path).
 func (a *app) allocUnits() int { return int(a.units.Load()) }
 
+// partition is the app's current chip slice (nil for advisory apps).
+// One atomic load: safe from the lock-free beat/status paths while a
+// migration rebinds the app.
+//
+//angstrom:hotpath
+func (a *app) partition() *angstrom.Partition { return a.part.Load() }
+
 // Daemon is the multi-application serving runtime.
 type Daemon struct {
 	cfg      Config
@@ -228,32 +246,52 @@ type Daemon struct {
 	// jd is the durability layer (persist.go), nil without DataDir.
 	jd *durability
 
-	reg  *heartbeat.Registry
-	chip *angstrom.SharedChip // non-nil iff cfg.Chip != nil
+	reg   *heartbeat.Registry
+	fleet *angstrom.Fleet // non-nil iff cfg.Chip != nil
 
 	dir *directory // sharded app index; lock-free reads
 
-	// mu is the control-plane lock: the (single-threaded) Manager, chip
-	// admission (makeRoom), enroll/withdraw/goal sequencing, and the
-	// journal's snapshot rotation. The beat and status paths never take
-	// it.
-	mu        sync.Mutex
-	mgr       *core.Manager
+	// mu is the control-plane lock: the (single-threaded) per-chip
+	// Managers and broker, chip admission (makeRoom), placement,
+	// migration, enroll/withdraw/goal sequencing, and the journal's
+	// snapshot rotation. The beat and status paths never take it.
+	mu sync.Mutex
+	// mgrs is one water-filling Manager per chip (one entry for a
+	// non-chip daemon; advisory apps always live in mgrs[0]). broker
+	// splits the global core/power budget across them each tick by
+	// aggregate corrected demand.
+	mgrs      []*core.Manager
+	broker    *core.Broker
 	appSeq    uint64 // enrollment counter behind app.seq (under mu)
 	chipCount atomic.Int64
 
-	// The tick's allocation table, indexed by Manager app ID (no string
-	// hashing on the per-app path): an entry is valid for this tick iff
-	// its epoch stamp matches allocTick. Written under d.mu before the
-	// decide fan-out, read-only by the workers.
-	allocByID []core.Allocation
-	allocSeen []uint64
+	// The tick's allocation table, indexed by [chip][Manager app ID]
+	// (no string hashing on the per-app path): an entry is valid for
+	// this tick iff its epoch stamp matches allocTick. Written under
+	// d.mu before the decide fan-out, read-only by the workers.
+	allocByID [][]core.Allocation
+	allocSeen [][]uint64
 	allocTick uint64
 
 	// snapBuf holds the tick's per-shard snapshots: immutable slice
 	// headers published by the directory, valid for the whole tick.
 	snapBuf [][]*app
 	chipBuf [][]*app // reused per-shard chip-app scratch
+	// chipApps is the tick's name-sorted chip-backed fleet, reused
+	// across ticks (tick goroutine only); the migration scan reads it
+	// after the tick. loadBuf is the placement/migration ledger scratch.
+	chipApps []*app
+	loadBuf  []angstrom.ChipLoad
+	// loadAvgMem/loadAvgNoC are per-die EWMAs of the offered mem/NoC
+	// utilization (alpha = loadAvgAlpha, updated once per tick under
+	// d.mu). The migration scan prices these instead of the last
+	// contention pass: instantaneous offered demand swings tick to tick
+	// as bang-bang schedules alternate configurations, and pricing that
+	// noise made balanced dies look transiently imbalanced. Nil unless
+	// the fleet has more than one die; persisted by snapshots and
+	// rebuilt by opTick replay.
+	loadAvgMem []float64
+	loadAvgNoC []float64
 
 	// testHookAfterSnapshot, when set, runs between the tick's snapshot
 	// phase and the advance phase — the window where a concurrent
@@ -261,10 +299,17 @@ type Daemon struct {
 	// withdraw deterministically mid-tick.
 	testHookAfterSnapshot func()
 
-	ticks     atomic.Uint64
-	beats     atomic.Uint64
-	decisions atomic.Uint64
-	evicted   atomic.Uint64 // stale apps withdrawn by BeatTimeout
+	ticks      atomic.Uint64
+	beats      atomic.Uint64
+	decisions  atomic.Uint64
+	evicted    atomic.Uint64 // stale apps withdrawn by BeatTimeout
+	migrations atomic.Uint64 // apps moved between chips by maybeMigrate
+	// lastMigrate is when the most recent inter-die move was applied —
+	// the migration scan sits out a settle window after it so the
+	// re-decision transient a move causes is never priced as imbalance.
+	// Written by applyMigration (under d.mu, from the tick goroutine or
+	// boot replay), read by the tick goroutine; persisted by snapshots.
+	lastMigrate sim.Time
 	// powerOvercommit is the float64 bits of the watts by which the sum
 	// of floored per-app power caps exceeds the chip budget (0 when the
 	// budget is satisfiable). Written by the tick goroutine, read by
@@ -318,21 +363,38 @@ func NewDaemon(cfg Config) (*Daemon, error) {
 		d.swClock = newSwapClock(d.clock)
 		d.clock = d.swClock
 	}
-	var err error
-	d.mgr, err = core.NewManager(d.clock, cfg.Cores)
-	if err != nil {
-		return nil, err
-	}
-	d.mgr.SetOversubscription(cfg.Oversubscribe)
+	chips := 1
 	if cfg.Chip != nil {
-		if err = cfg.Chip.validate(); err != nil {
+		if err := cfg.Chip.validate(); err != nil {
 			return nil, err
 		}
-		d.chip, err = angstrom.NewSharedChip(*cfg.Chip.Params, cfg.Chip.Tiles)
+		chips = cfg.Chip.Chips
+		if cfg.Cores < chips {
+			// The broker floors every non-empty chip at one unit, so the
+			// global pool must cover the fleet.
+			return nil, fmt.Errorf("server: %d cores cannot cover %d chips", cfg.Cores, chips)
+		}
+		var err error
+		if d.fleet, err = angstrom.NewFleet(*cfg.Chip.Params, cfg.Chip.Tiles, chips); err != nil {
+			return nil, err
+		}
+		if chips > 1 {
+			d.loadAvgMem = make([]float64, chips)
+			d.loadAvgNoC = make([]float64, chips)
+		}
+	}
+	d.mgrs = make([]*core.Manager, chips)
+	for i := range d.mgrs {
+		m, err := core.NewManager(d.clock, cfg.Cores)
 		if err != nil {
 			return nil, err
 		}
+		m.SetOversubscription(cfg.Oversubscribe)
+		d.mgrs[i] = m
 	}
+	d.broker = core.NewBroker()
+	d.allocByID = make([][]core.Allocation, chips)
+	d.allocSeen = make([][]uint64, chips)
 	if cfg.DataDir != "" {
 		if err := d.openJournal(); err != nil {
 			return nil, err
@@ -465,15 +527,23 @@ func (d *Daemon) Enroll(req EnrollRequest) error {
 	chipBacked := false
 	switch req.Mode {
 	case "", ModeDefault:
-		chipBacked = d.chip != nil
+		chipBacked = d.fleet != nil
 	case ModeChip:
-		if d.chip == nil {
+		if d.fleet == nil {
 			return fmt.Errorf("server: chip mode not enabled on this daemon")
 		}
 		chipBacked = true
 	case ModeAdvisory:
 	default:
 		return fmt.Errorf("server: unknown mode %q", req.Mode)
+	}
+	if req.Chip != nil {
+		if !chipBacked {
+			return fmt.Errorf("server: chip pin on a non-chip enrollment")
+		}
+		if *req.Chip < 0 || *req.Chip >= d.fleet.Chips() {
+			return fmt.Errorf("server: chip %d outside fleet of %d", *req.Chip, d.fleet.Chips())
+		}
 	}
 	wl := req.Workload
 	if wl == "" {
@@ -502,8 +572,20 @@ func (d *Daemon) Enroll(req EnrollRequest) error {
 	if _, dup := d.dir.get(name); dup {
 		return fmt.Errorf("server: %q %w", name, ErrDuplicate)
 	}
-	if !d.cfg.Oversubscribe && d.mgr.Apps() >= d.cfg.Cores {
-		return fmt.Errorf("server: %w (%d apps on %d cores)", ErrPoolExhausted, d.mgr.Apps(), d.cfg.Cores)
+	if apps := d.totalApps(); !d.cfg.Oversubscribe && apps >= d.cfg.Cores {
+		return fmt.Errorf("server: %w (%d apps on %d cores)", ErrPoolExhausted, apps, d.cfg.Cores)
+	}
+	// Place the enrollment before journaling and stamp the decision into
+	// the record: the chosen die is part of the durable history, so
+	// replay re-binds at the recorded placement instead of re-running the
+	// bin-packer against a ledger mid-rebuild. (Old journals carry no pin
+	// and re-place; a single-chip fleet always resolves to die 0.)
+	if chipBacked && req.Chip == nil {
+		idx := d.placeChip(spec)
+		req.Chip = &idx
+	}
+	if req.Chip != nil {
+		a.chip = *req.Chip
 	}
 	// Journal ahead of the apply (after the cheap pre-checks): a commit
 	// failure degrades the daemon before any state changes, and an
@@ -535,21 +617,22 @@ func (d *Daemon) Enroll(req EnrollRequest) error {
 	// enrollments themselves).
 	scaling := spec.CachedSpeedup(d.cfg.Cores)
 	shape := curveShapeFor(spec, d.cfg.Cores, scaling)
-	if err := d.mgr.AddAppWithShape(name, mon, scaling, shape.peak, shape.unimodal); err != nil {
+	mgr := d.mgrs[a.chip]
+	if err := mgr.AddAppWithShape(name, mon, scaling, shape.peak, shape.unimodal); err != nil {
 		d.unbindChip(a)
 		return err
 	}
 	if req.Priority > 0 {
-		if err := d.mgr.SetPriority(name, req.Priority); err != nil {
-			d.mgr.RemoveApp(name)
+		if err := mgr.SetPriority(name, req.Priority); err != nil {
+			mgr.RemoveApp(name)
 			d.unbindChip(a)
 			return err
 		}
 		a.prio = req.Priority
 	}
-	a.mgrID, _ = d.mgr.AppID(name)
+	a.mgrID, _ = mgr.AppID(name)
 	if err := d.reg.Enroll(name, mon); err != nil {
-		d.mgr.RemoveApp(name)
+		mgr.RemoveApp(name)
 		d.unbindChip(a)
 		return err
 	}
@@ -559,14 +642,23 @@ func (d *Daemon) Enroll(req EnrollRequest) error {
 		// Unreachable while enrolls serialize on d.mu, but keep the
 		// bookkeeping honest if that ever changes.
 		d.reg.Withdraw(name)
-		d.mgr.RemoveApp(name)
+		mgr.RemoveApp(name)
 		d.unbindChip(a)
 		return fmt.Errorf("server: %q %w", name, ErrDuplicate)
 	}
-	if a.part != nil {
+	if a.partition() != nil {
 		d.chipCount.Add(1)
 	}
 	return nil
+}
+
+// totalApps sums enrollments across the per-chip managers (under d.mu).
+func (d *Daemon) totalApps() int {
+	n := 0
+	for _, m := range d.mgrs {
+		n += m.Apps()
+	}
+	return n
 }
 
 // unbindChip releases an app's chip partition, if any. The pointer is
@@ -577,8 +669,8 @@ func (d *Daemon) Enroll(req EnrollRequest) error {
 //
 //angstrom:journaled writer
 func (d *Daemon) unbindChip(a *app) {
-	if a.part != nil {
-		d.chip.Release(a.name)
+	if a.partition() != nil {
+		d.fleet.Chip(a.chip).Release(a.name)
 	}
 }
 
@@ -607,9 +699,9 @@ func (d *Daemon) withdraw(name string, evict bool) error {
 	}
 	d.dir.remove(name)
 	d.reg.Withdraw(name)
-	d.mgr.RemoveApp(name)
+	d.mgrs[a.chip].RemoveApp(name)
 	d.unbindChip(a)
-	if a.part != nil {
+	if a.partition() != nil {
 		d.chipCount.Add(-1)
 	}
 	if evict {
@@ -648,7 +740,7 @@ func (d *Daemon) Beat(name string, count int, distortion float64) error {
 	if !ok {
 		return fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
 	}
-	if a.part != nil {
+	if a.partition() != nil {
 		return fmt.Errorf("server: %q is chip-backed; its beats are chip-emitted", name)
 	}
 	now := d.clock.Now()
@@ -711,7 +803,7 @@ func (d *Daemon) BeatTimestamps(name string, ts []float64, distortion float64) e
 	if !ok {
 		return fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
 	}
-	if a.part != nil {
+	if a.partition() != nil {
 		return fmt.Errorf("server: %q is chip-backed; its beats are chip-emitted", name)
 	}
 	now := d.clock.Now()
@@ -780,6 +872,10 @@ func (d *Daemon) Tick() {
 	if d.jd != nil {
 		d.journalAppend(record{Op: opTick, T: now})
 	}
+	// Migration rides after the tick record, not inside tickAt: replaying
+	// an opTick must not re-run the migration scan (its outcome is its
+	// own journaled record, the same pattern evictions use).
+	d.maybeMigrate(now)
 	d.evictStale(now)
 	d.maybeSnapshot()
 }
@@ -797,8 +893,12 @@ func (d *Daemon) tickAt(now sim.Time) {
 	// Re-price cross-partition contention before executing the interval:
 	// this tick's Advance (and every Sense the controllers read) runs at
 	// the degradation implied by the fleet's current configurations.
-	if d.chip != nil {
-		d.chip.UpdateContention()
+	// Die order — each chip's ledger is independent, so the pass order
+	// only needs to be stable.
+	if d.fleet != nil {
+		for i := 0; i < d.fleet.Chips(); i++ {
+			d.fleet.Chip(i).UpdateContention()
+		}
 	}
 
 	// Snapshot phase: one immutable slice header per shard. Withdrawn
@@ -815,11 +915,11 @@ func (d *Daemon) tickAt(now sim.Time) {
 	// previous decision's schedule, so the heartbeats the manager and
 	// controllers are about to read reflect this interval's execution.
 	// Fanned per shard; partitions advance independently.
-	if d.chip != nil {
+	if d.fleet != nil {
 		d.dir.forEachShard(d.workers, func(i int) {
 			chips := d.chipBuf[i][:0]
 			for _, a := range d.snapBuf[i] {
-				if a.part == nil {
+				if a.partition() == nil {
 					continue
 				}
 				if cur, ok := d.lookup(a.name); !ok || cur != a {
@@ -831,62 +931,90 @@ func (d *Daemon) tickAt(now sim.Time) {
 			d.chipBuf[i] = chips
 		})
 	}
-	var chipApps []*app
-	if d.chip != nil {
+	chipApps := d.chipApps[:0]
+	if d.fleet != nil {
 		for i := range d.chipBuf {
 			chipApps = append(chipApps, d.chipBuf[i]...)
 		}
 		// Name order, not shard order: the share-apply and power-cap
-		// passes below interact with the shared tile ledger, so a stable
+		// passes below interact with the shared tile ledgers, so a stable
 		// order keeps them independent of the shard layout.
 		sort.Slice(chipApps, func(i, j int) bool { return chipApps[i].name < chipApps[j].name })
 	}
+	d.chipApps = chipApps // the post-tick migration scan reads it
 
 	d.mu.Lock()
-	// Feed each chip app's measured contention factor to the manager so
-	// water-filling provisions for contended throughput.
+	// Fold this tick's offered utilization into the per-die EWMAs the
+	// migration scan prices (under d.mu so snapshots capture a
+	// consistent value; replayed ticks rebuild it identically).
+	if d.loadAvgMem != nil {
+		d.loadBuf = d.fleet.Loads(d.loadBuf[:0])
+		for i, l := range d.loadBuf {
+			d.loadAvgMem[i] += loadAvgAlpha * (l.MemRho - d.loadAvgMem[i])
+			d.loadAvgNoC[i] += loadAvgAlpha * (l.NoCRho - d.loadAvgNoC[i])
+		}
+	}
+	// Feed each chip app's measured contention factor to its die's
+	// manager so water-filling provisions for contended throughput.
 	for _, a := range chipApps {
-		d.mgr.SetInterference(a.name, a.part.Interference().Slowdown)
+		d.mgrs[a.chip].SetInterference(a.name, a.partition().Interference().Slowdown)
 	}
-	var allocs []core.Allocation
-	if d.mgr.Apps() > 0 {
-		var err error
-		if allocs, err = d.mgr.Step(); err != nil {
-			allocs = nil
+	// Broker pass: split the global core pool across the per-chip
+	// managers by last tick's aggregate corrected demand. A single
+	// manager keeps its full pool (the broker is the identity), so the
+	// one-chip daemon arbitrates bit-identically to the pre-fleet code.
+	if len(d.mgrs) > 1 {
+		units := d.broker.SplitUnits(d.cfg.Cores, d.mgrs)
+		for i, m := range d.mgrs {
+			if m.Apps() > 0 {
+				_ = m.SetBudget(units[i])
+			}
 		}
 	}
-	// Publish the allocations into the ID-indexed table: integer reads
-	// on the per-app path instead of a 10k-entry name map rebuilt every
-	// tick. Epoch stamping makes last tick's entries invisible without
-	// clearing anything.
+	// Publish each manager's allocations into its ID-indexed table:
+	// integer reads on the per-app path instead of a 10k-entry name map
+	// rebuilt every tick. Epoch stamping makes last tick's entries
+	// invisible without clearing anything.
 	d.allocTick++
-	for _, al := range allocs {
-		if al.ID >= len(d.allocByID) {
-			grown := make([]core.Allocation, al.ID+1+len(d.allocByID))
-			copy(grown, d.allocByID)
-			d.allocByID = grown
-			seen := make([]uint64, len(grown))
-			copy(seen, d.allocSeen)
-			d.allocSeen = seen
+	for ci, m := range d.mgrs {
+		if m.Apps() == 0 {
+			continue
 		}
-		d.allocByID[al.ID] = al
-		d.allocSeen[al.ID] = d.allocTick
+		allocs, err := m.Step()
+		if err != nil {
+			continue
+		}
+		tbl, seen := d.allocByID[ci], d.allocSeen[ci]
+		for _, al := range allocs {
+			if al.ID >= len(tbl) {
+				grown := make([]core.Allocation, al.ID+1+len(tbl))
+				copy(grown, tbl)
+				tbl = grown
+				grownSeen := make([]uint64, len(grown))
+				copy(grownSeen, seen)
+				seen = grownSeen
+			}
+			tbl[al.ID] = al
+			seen[al.ID] = d.allocTick
+		}
+		d.allocByID[ci], d.allocSeen[ci] = tbl, seen
 	}
 
-	// Apply the manager's time shares to chip partitions, shrinks first
+	// Apply the managers' time shares to chip partitions, shrinks first
 	// so the grows always find the freed core-equivalents in the ledger.
 	// Still under d.mu: Enroll's makeRoom also shrinks shares (to carve
 	// a slot for a newcomer), and a concurrent grow pass working from
 	// pre-shrink values would undo it and spuriously refuse admission.
 	for pass := 0; pass < 2; pass++ {
 		for _, a := range chipApps {
-			al, ok := d.allocFor(a.mgrID)
+			al, ok := d.allocFor(a.chip, a.mgrID)
 			if !ok || al.Share <= 0 {
 				continue
 			}
-			cur := a.part.Share()
+			part := a.partition()
+			cur := part.Share()
 			if (pass == 0 && al.Share < cur) || (pass == 1 && al.Share > cur) {
-				_ = a.part.SetShare(al.Share) // transient refusals heal next tick
+				_ = part.SetShare(al.Share) // transient refusals heal next tick
 			}
 		}
 	}
@@ -904,7 +1032,7 @@ func (d *Daemon) tickAt(now sim.Time) {
 			if cur, ok := d.lookup(a.name); !ok || cur != a {
 				continue
 			}
-			al, hasAlloc := d.allocFor(a.mgrID)
+			al, hasAlloc := d.allocFor(a.chip, a.mgrID)
 			if hasAlloc {
 				a.units.Store(int64(al.Units))
 			}
@@ -929,7 +1057,7 @@ func (d *Daemon) evictStale(now sim.Time) {
 	var stale []string
 	for i := range d.snapBuf {
 		for _, a := range d.snapBuf[i] {
-			if a.part != nil {
+			if a.partition() != nil {
 				continue
 			}
 			last := a.mon.LastTime()
@@ -954,16 +1082,18 @@ func (d *Daemon) evictStale(now sim.Time) {
 // Evicted reports how many stale applications BeatTimeout has evicted.
 func (d *Daemon) Evicted() uint64 { return d.evicted.Load() }
 
-// allocFor reads this tick's allocation for a Manager app ID (ok=false
-// when the app was not part of the tick's Step — e.g. enrolled after
-// it, or the Step errored). An ID freed by a withdraw and re-issued to
-// a newer app is safe: the entry is overwritten before it is consulted,
-// or epoch-invisible.
-func (d *Daemon) allocFor(id int) (core.Allocation, bool) {
-	if id < 0 || id >= len(d.allocByID) || d.allocSeen[id] != d.allocTick {
+// allocFor reads this tick's allocation for a Manager app ID on one
+// chip's manager (ok=false when the app was not part of the tick's Step
+// — e.g. enrolled after it, or the Step errored). An ID freed by a
+// withdraw and re-issued to a newer app is safe: the entry is
+// overwritten before it is consulted, or epoch-invisible. IDs are only
+// meaningful per manager, which is why the table is two-level.
+func (d *Daemon) allocFor(chip, id int) (core.Allocation, bool) {
+	tbl := d.allocByID[chip]
+	if id < 0 || id >= len(tbl) || d.allocSeen[chip][id] != d.allocTick {
 		return core.Allocation{}, false
 	}
-	return d.allocByID[id], true
+	return tbl[id], true
 }
 
 // decide runs (or skips) one app's decision. Called only by the app's
@@ -974,7 +1104,7 @@ func (d *Daemon) decide(a *app, al core.Allocation, hasAlloc bool) {
 	// extends a skip.
 	goalEpoch := a.goalEpoch.Load()
 	beats := a.mon.Count()
-	if a.part == nil && a.stepped && !a.steppedErrored &&
+	if a.partition() == nil && a.stepped && !a.steppedErrored &&
 		beats == a.steppedBeats && goalEpoch == a.steppedGoalEpoch &&
 		(!hasAlloc || (al.Units == a.steppedUnits && al.Share == a.steppedShare)) {
 		// Quiescent: hold the standing decision. Stepping an idle app
@@ -1013,7 +1143,7 @@ func (d *Daemon) decide(a *app, al core.Allocation, hasAlloc bool) {
 		a.alloc = al
 	}
 	a.mu.Unlock()
-	if a.part != nil && err == nil {
+	if a.partition() != nil && err == nil {
 		// Slices(1) yields fractions of the next interval; the next
 		// tick scales them by the real elapsed time.
 		a.pending = dec.Slices(1)
@@ -1090,8 +1220,8 @@ func (d *Daemon) status(a *app) AppStatus {
 	if g := goals.Performance; g != nil {
 		st.Goal = GoalView{MinRate: g.MinRate, MaxRate: g.MaxRate}
 	}
-	if a.part != nil {
-		st.Chip = d.chipView(a)
+	if part := a.partition(); part != nil {
+		st.Chip = d.chipView(a, part)
 	}
 	a.mu.Lock()
 	st.EnrolledAt = a.enrolledAt
@@ -1102,13 +1232,16 @@ func (d *Daemon) status(a *app) AppStatus {
 		GoalFit: a.alloc.GoalMet,
 	}
 	st.DecisionErr = a.decisionErr
-	if a.part != nil {
+	if st.Chip != nil {
 		st.Chip.ActuationErr = a.actErr
 	}
 	if a.hasDecision {
-		dec := a.decision
+		// Capture the runtime alongside the decision: a migration swaps
+		// a.rt under this mutex, and the decision must be rendered against
+		// the space it was decided in.
+		dec, rt := a.decision, a.rt
 		a.mu.Unlock()
-		v := decisionView(dec, a.rt.Space())
+		v := decisionView(dec, rt.Space())
 		st.Decision = &v
 		return st
 	}
@@ -1142,16 +1275,19 @@ func decisionView(dec core.Decision, space *actuator.Space) DecisionView {
 }
 
 // chipView renders one chip-backed app's hardware state for the wire.
-func (d *Daemon) chipView(a *app) *ChipView {
-	s := a.part.Sense()
-	cfg := a.part.Config()
-	in := a.part.Interference()
+// The caller passes the partition it already loaded so the view is
+// internally consistent even while a migration rebinds the app.
+func (d *Daemon) chipView(a *app, part *angstrom.Partition) *ChipView {
+	s := part.Sense()
+	cfg := part.Config()
+	in := part.Interference()
 	vf := d.cfg.Chip.Params.VF[cfg.VF]
 	return &ChipView{
+		Chip:      a.chip,
 		Cores:     cfg.Cores,
 		CacheKB:   cfg.CacheKB,
 		VF:        fmt.Sprintf("%.1fV/%.0fMHz", vf.Volts, vf.FHz/1e6),
-		TimeShare: a.part.Share(),
+		TimeShare: part.Share(),
 		IPS:       s.IPS,
 		PowerW:    s.PowerW,
 		StallFrac: s.StallFrac,
@@ -1163,27 +1299,49 @@ func (d *Daemon) chipView(a *app) *ChipView {
 	}
 }
 
-// ChipStatus reports the shared chip's ledger, or ok=false when the
-// daemon is not chip-backed.
+// ChipStatus reports the shared chip's ledger for a single-die daemon,
+// or ok=false when the daemon is not chip-backed or runs more than one
+// die (clients of a fleet must use ChipStatuses — the legacy view would
+// silently hide every other die).
 func (d *Daemon) ChipStatus() (ChipStatusResponse, bool) {
-	if d.chip == nil {
+	if d.fleet == nil || d.fleet.Chips() != 1 {
 		return ChipStatusResponse{}, false
 	}
-	parts, used := d.chip.Usage()
-	c := d.chip.Contention()
+	return d.chipStatusAt(0), true
+}
+
+// ChipStatuses reports every die's ledger, in die order (nil when the
+// daemon is not chip-backed).
+func (d *Daemon) ChipStatuses() []ChipStatusResponse {
+	if d.fleet == nil {
+		return nil
+	}
+	out := make([]ChipStatusResponse, d.fleet.Chips())
+	for i := range out {
+		out[i] = d.chipStatusAt(i)
+	}
+	return out
+}
+
+func (d *Daemon) chipStatusAt(i int) ChipStatusResponse {
+	sc := d.fleet.Chip(i)
+	parts, used := sc.Usage()
+	c := sc.Contention()
 	return ChipStatusResponse{
-		Tiles:           d.chip.Tiles(),
-		Partitions:      parts,
-		CoreEquivalents: used,
-		PowerW:          d.chip.TotalPowerW(),
-		PowerBudgetW:    d.cfg.Chip.PowerBudgetW,
-		UncoreW:         d.cfg.Chip.Params.UncoreW,
-		MemBandwidthBps: c.MemCapacityBps,
-		MemDemandBps:    c.MemDemandBps,
-		MemRho:          c.MemRho,
-		NoCRho:          c.NoCRho,
-		LedgerFaults:    d.chip.LedgerFaults(),
-	}, true
+		Chip:              i,
+		Tiles:             sc.Tiles(),
+		Partitions:        parts,
+		CoreEquivalents:   used,
+		PowerW:            sc.TotalPowerW(),
+		PowerBudgetW:      d.cfg.Chip.PowerBudgetW,
+		UncoreW:           d.cfg.Chip.Params.UncoreW,
+		MemBandwidthBps:   c.MemCapacityBps,
+		MemDemandBps:      c.MemDemandBps,
+		MemRho:            c.MemRho,
+		NoCRho:            c.NoCRho,
+		MemBandwidthScale: sc.MemBandwidthScale(),
+		LedgerFaults:      sc.LedgerFaults(),
+	}
 }
 
 // Stats reports daemon-wide counters.
@@ -1193,6 +1351,7 @@ func (d *Daemon) Stats() StatsResponse {
 		ChipApps:         int(d.chipCount.Load()),
 		Cores:            d.cfg.Cores,
 		Shards:           len(d.dir.shards),
+		Migrations:       d.migrations.Load(),
 		Ticks:            d.ticks.Load(),
 		Beats:            d.beats.Load(),
 		Decisions:        d.decisions.Load(),
@@ -1202,6 +1361,9 @@ func (d *Daemon) Stats() StatsResponse {
 		PeriodSeconds:    d.cfg.Period.Seconds(),
 		Accelerated:      d.simClock != nil,
 		PowerOvercommitW: math.Float64frombits(d.powerOvercommit.Load()),
+	}
+	if d.fleet != nil {
+		st.Chips = d.fleet.Chips()
 	}
 	if jd := d.jd; jd != nil {
 		js := &JournalStats{

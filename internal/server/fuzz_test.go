@@ -42,10 +42,10 @@ func checkDaemonHealthy(t *testing.T, d *Daemon, status int) {
 	if status < 200 || status > 599 {
 		t.Fatalf("implausible HTTP status %d", status)
 	}
-	if f := d.chip.LedgerFaults(); f != 0 {
+	if f := d.fleet.Chip(0).LedgerFaults(); f != 0 {
 		t.Fatalf("%d ledger faults", f)
 	}
-	if _, used := d.chip.Usage(); used > float64(d.chip.Tiles())+1e-6 {
+	if _, used := d.fleet.Chip(0).Usage(); used > float64(d.fleet.Chip(0).Tiles())+1e-6 {
 		t.Fatalf("ledger overcommitted: %g", used)
 	}
 	st, err := d.Status("fz")

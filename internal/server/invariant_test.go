@@ -200,11 +200,11 @@ func chipScript(t *testing.T, cfg Config, apps, ticks int) [][]AppStatus {
 		}
 		d.Tick()
 		transcript = append(transcript, d.List())
-		if f := d.chip.LedgerFaults(); f != 0 {
+		if f := d.fleet.Chip(0).LedgerFaults(); f != 0 {
 			t.Fatalf("tick %d: %d ledger faults", tick, f)
 		}
-		if _, used := d.chip.Usage(); used > float64(d.chip.Tiles())+1e-6 {
-			t.Fatalf("tick %d: ledger overcommitted: %g > %d tiles", tick, used, d.chip.Tiles())
+		if _, used := d.fleet.Chip(0).Usage(); used > float64(d.fleet.Chip(0).Tiles())+1e-6 {
+			t.Fatalf("tick %d: ledger overcommitted: %g > %d tiles", tick, used, d.fleet.Chip(0).Tiles())
 		}
 	}
 	return transcript
@@ -268,10 +268,10 @@ func TestWithdrawMidTickReleasesTilesOnce(t *testing.T) {
 	d.Tick()
 	d.testHookAfterSnapshot = nil
 
-	if f := d.chip.LedgerFaults(); f != 0 {
+	if f := d.fleet.Chip(0).LedgerFaults(); f != 0 {
 		t.Fatalf("%d ledger faults after mid-tick withdraw", f)
 	}
-	parts, used := d.chip.Usage()
+	parts, used := d.fleet.Chip(0).Usage()
 	if parts != apps-1 {
 		t.Fatalf("%d partitions after withdraw+re-enroll, want %d", parts, apps-1)
 	}
@@ -279,8 +279,8 @@ func TestWithdrawMidTickReleasesTilesOnce(t *testing.T) {
 	// release would undercount, a leak would overcount.
 	sum := 0.0
 	for _, a := range d.dir.snapshot(nil) {
-		if a.part != nil {
-			sum += float64(a.part.Config().Cores) * a.part.Share()
+		if a.partition() != nil {
+			sum += float64(a.partition().Config().Cores) * a.partition().Share()
 		}
 	}
 	if diff := used - sum; diff > 1e-6 || diff < -1e-6 {
@@ -297,7 +297,7 @@ func TestWithdrawMidTickReleasesTilesOnce(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		d.Tick()
 	}
-	if f := d.chip.LedgerFaults(); f != 0 {
+	if f := d.fleet.Chip(0).LedgerFaults(); f != 0 {
 		t.Fatalf("%d ledger faults after post-withdraw ticks", f)
 	}
 	st, err := d.Status("m-07")

@@ -53,12 +53,14 @@ var ErrDegraded = errors.New("journal degraded")
 
 // Journal record operations.
 const (
-	opEnroll   = "enroll"
-	opWithdraw = "withdraw"
-	opGoal     = "goal"
-	opBeat     = "beat"
-	opBeatTS   = "beat_ts"
-	opTick     = "tick"
+	opEnroll    = "enroll"
+	opWithdraw  = "withdraw"
+	opGoal      = "goal"
+	opBeat      = "beat"
+	opBeatTS    = "beat_ts"
+	opTick      = "tick"
+	opMigrate   = "migrate"    // move one app's partition between dies
+	opChipScale = "chip_scale" // derate one die's memory bandwidth
 )
 
 // record is one journaled mutation. T is the daemon-clock time the
@@ -74,6 +76,10 @@ type record struct {
 	Distortion float64        `json:"distortion,omitempty"`
 	Timestamps []float64      `json:"timestamps,omitempty"`
 	Evict      bool           `json:"evict,omitempty"`
+	// Chip is the target die of an opMigrate / opChipScale record; Scale
+	// is opChipScale's bandwidth factor.
+	Chip  int     `json:"chip,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
 }
 
 // snapImage is a snapshot's payload: the compacted prefix of the
@@ -87,8 +93,22 @@ type snapImage struct {
 	Beats       uint64    `json:"beats"`
 	Decisions   uint64    `json:"decisions"`
 	Evicted     uint64    `json:"evicted"`
+	Migrations  uint64    `json:"migrations,omitempty"`
+	// LastMigrate is when the most recent inter-die move applied (zero
+	// if never): restores must resume the migration scan's settle window
+	// exactly where the imaged daemon left it.
+	LastMigrate sim.Time  `json:"last_migrate,omitempty"`
 	OvercommitW float64   `json:"overcommit_w,omitempty"`
-	Apps        []snapApp `json:"apps"`
+	// ChipScales is each die's bandwidth derating (absent when every die
+	// is nominal; a shorter slice leaves the remaining dies at 1).
+	ChipScales []float64 `json:"chip_scales,omitempty"`
+	// LoadAvgMem/LoadAvgNoC are the per-die smoothed offered
+	// utilizations the migration scan prices (absent for single-die
+	// daemons); a restore resumes the EWMAs in place so post-restore
+	// scans see what the imaged daemon saw.
+	LoadAvgMem []float64 `json:"load_avg_mem,omitempty"`
+	LoadAvgNoC []float64 `json:"load_avg_noc,omitempty"`
+	Apps       []snapApp `json:"apps"`
 }
 
 type snapApp struct {
@@ -100,6 +120,9 @@ type snapApp struct {
 	// Priority is the declared water-fill weight (0 = default 1).
 	Priority   float64  `json:"priority,omitempty"`
 	EnrolledAt sim.Time `json:"enrolled_at"`
+	// MigratedAt is when the app last moved between dies (zero if
+	// never); restores must resume its migration cooldown in place.
+	MigratedAt sim.Time `json:"migrated_at,omitempty"`
 	// The manager's last allocation view (status continuity until the
 	// first post-restore tick re-prices the fleet).
 	Units      int     `json:"units"`
@@ -113,6 +136,9 @@ type snapApp struct {
 }
 
 type snapChip struct {
+	// Chip is the die index the partition lives on (omitted for die 0,
+	// so single-chip snapshots are unchanged on the wire).
+	Chip    int     `json:"chip,omitempty"`
 	Cores   int     `json:"cores"`
 	CacheKB int     `json:"cache_kb"`
 	VF      int     `json:"vf"`
@@ -344,7 +370,28 @@ func (d *Daemon) restore(st *journal.State) error {
 		d.beats.Store(img.Beats)
 		d.decisions.Store(img.Decisions)
 		d.evicted.Store(img.Evicted)
+		d.migrations.Store(img.Migrations)
+		d.lastMigrate = img.LastMigrate
 		d.powerOvercommit.Store(math.Float64bits(img.OvercommitW))
+		// Re-derate before re-binding: restored partitions must see the
+		// same effective bandwidth their contention was priced at.
+		for i, s := range img.ChipScales {
+			if d.fleet != nil && i < d.fleet.Chips() && s > 0 {
+				if err := d.fleet.Chip(i).SetMemBandwidthScale(s); err != nil {
+					return fmt.Errorf("server: restore chip %d scale: %w", i, err)
+				}
+			}
+		}
+		for i, v := range img.LoadAvgMem {
+			if i < len(d.loadAvgMem) {
+				d.loadAvgMem[i] = v
+			}
+		}
+		for i, v := range img.LoadAvgNoC {
+			if i < len(d.loadAvgNoC) {
+				d.loadAvgNoC[i] = v
+			}
+		}
 		for _, sa := range img.Apps {
 			if err := d.restoreApp(sa); err != nil {
 				return fmt.Errorf("server: restore %q: %w", sa.Name, err)
@@ -399,6 +446,10 @@ func (d *Daemon) replayRecord(rec record) {
 		_ = d.BeatTimestamps(rec.Name, rec.Timestamps, rec.Distortion)
 	case opTick:
 		d.tickAt(rec.T)
+	case opMigrate:
+		_ = d.applyMigration(rec.Name, rec.Chip, rec.T)
+	case opChipScale:
+		_ = d.applyChipScale(rec.Chip, rec.Scale)
 	default:
 		d.jd.badRecords++
 	}
@@ -428,7 +479,7 @@ func (d *Daemon) restoreApp(sa snapApp) error {
 	}
 	mon := heartbeat.New(d.clock, heartbeat.WithWindow(sa.Window))
 	mon.SetPerformanceGoal(sa.MinRate, sa.MaxRate)
-	a := &app{name: sa.Name, spec: spec, mon: mon, window: sa.Window, enrolledAt: sa.EnrolledAt, prio: sa.Priority}
+	a := &app{name: sa.Name, spec: spec, mon: mon, window: sa.Window, enrolledAt: sa.EnrolledAt, migratedAt: sa.MigratedAt, prio: sa.Priority}
 	units := sa.Units
 	if units < 1 {
 		units = 1
@@ -439,9 +490,13 @@ func (d *Daemon) restoreApp(sa snapApp) error {
 		a.alloc.Share = 1
 	}
 	if sa.Chip != nil {
-		if d.chip == nil {
+		if d.fleet == nil {
 			return fmt.Errorf("server: snapshot has chip app %q but the daemon runs without -chip", sa.Name)
 		}
+		if sa.Chip.Chip < 0 || sa.Chip.Chip >= d.fleet.Chips() {
+			return fmt.Errorf("server: snapshot places %q on chip %d of %d", sa.Name, sa.Chip.Chip, d.fleet.Chips())
+		}
+		a.chip = sa.Chip.Chip
 		cfg := angstrom.Config{Cores: sa.Chip.Cores, CacheKB: sa.Chip.CacheKB, VF: sa.Chip.VF}
 		if err := d.bindChipAt(a, spec, cfg, sa.Chip.Share, d.clock.Now()); err != nil {
 			return err
@@ -457,21 +512,22 @@ func (d *Daemon) restoreApp(sa snapApp) error {
 	}
 	scaling := spec.CachedSpeedup(d.cfg.Cores)
 	shape := curveShapeFor(spec, d.cfg.Cores, scaling)
-	if err := d.mgr.AddAppWithShape(sa.Name, mon, scaling, shape.peak, shape.unimodal); err != nil {
+	mgr := d.mgrs[a.chip]
+	if err := mgr.AddAppWithShape(sa.Name, mon, scaling, shape.peak, shape.unimodal); err != nil {
 		d.unbindChip(a)
 		return err
 	}
 	if sa.Priority > 0 {
-		if err := d.mgr.SetPriority(sa.Name, sa.Priority); err != nil {
-			d.mgr.RemoveApp(sa.Name)
+		if err := mgr.SetPriority(sa.Name, sa.Priority); err != nil {
+			mgr.RemoveApp(sa.Name)
 			d.unbindChip(a)
 			return err
 		}
 	}
-	a.mgrID, _ = d.mgr.AppID(sa.Name)
+	a.mgrID, _ = mgr.AppID(sa.Name)
 	a.alloc.ID = a.mgrID
 	if err := d.reg.Enroll(sa.Name, mon); err != nil {
-		d.mgr.RemoveApp(sa.Name)
+		mgr.RemoveApp(sa.Name)
 		d.unbindChip(a)
 		return err
 	}
@@ -479,11 +535,11 @@ func (d *Daemon) restoreApp(sa snapApp) error {
 	a.seq = d.appSeq
 	if !d.dir.insert(sa.Name, a) {
 		d.reg.Withdraw(sa.Name)
-		d.mgr.RemoveApp(sa.Name)
+		mgr.RemoveApp(sa.Name)
 		d.unbindChip(a)
 		return fmt.Errorf("server: %q %w", sa.Name, ErrDuplicate)
 	}
-	if a.part != nil {
+	if a.partition() != nil {
 		d.chipCount.Add(1)
 	}
 	return nil
@@ -500,7 +556,26 @@ func (d *Daemon) buildImage(seq uint64) snapImage {
 		Beats:       d.beats.Load(),
 		Decisions:   d.decisions.Load(),
 		Evicted:     d.evicted.Load(),
+		Migrations:  d.migrations.Load(),
+		LastMigrate: d.lastMigrate,
 		OvercommitW: math.Float64frombits(d.powerOvercommit.Load()),
+	}
+	if d.fleet != nil {
+		derated := false
+		scales := make([]float64, d.fleet.Chips())
+		for i := range scales {
+			scales[i] = d.fleet.Chip(i).MemBandwidthScale()
+			if scales[i] != 1 {
+				derated = true
+			}
+		}
+		if derated {
+			img.ChipScales = scales
+		}
+		if d.loadAvgMem != nil {
+			img.LoadAvgMem = append([]float64(nil), d.loadAvgMem...)
+			img.LoadAvgNoC = append([]float64(nil), d.loadAvgNoC...)
+		}
 	}
 	apps := d.dir.snapshot(make([]*app, 0, d.dir.len()))
 	sort.Slice(apps, func(i, j int) bool { return apps[i].seq < apps[j].seq })
@@ -512,14 +587,15 @@ func (d *Daemon) buildImage(seq uint64) snapImage {
 		}
 		a.mu.Lock()
 		sa.EnrolledAt = a.enrolledAt
+		sa.MigratedAt = a.migratedAt
 		sa.Units = a.alloc.Units
 		sa.Demand = a.alloc.Demand
 		sa.AllocShare = a.alloc.Share
 		sa.GoalFit = a.alloc.GoalMet
 		a.mu.Unlock()
-		if a.part != nil {
-			cfg := a.part.Config()
-			sa.Chip = &snapChip{Cores: cfg.Cores, CacheKB: cfg.CacheKB, VF: cfg.VF, Share: a.part.Share()}
+		if part := a.partition(); part != nil {
+			cfg := part.Config()
+			sa.Chip = &snapChip{Chip: a.chip, Cores: cfg.Cores, CacheKB: cfg.CacheKB, VF: cfg.VF, Share: part.Share()}
 		}
 		img.Apps = append(img.Apps, sa)
 	}

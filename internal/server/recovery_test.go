@@ -288,11 +288,102 @@ func TestChipCrashAtEveryCommitBoundary(t *testing.T) {
 			second = append(second, r2.List())
 		}
 		diffTranscripts(t, fmt.Sprintf("boundary %d double restore", i), first, second)
-		if f := r1.chip.LedgerFaults(); f != 0 {
+		if f := r1.fleet.Chip(0).LedgerFaults(); f != 0 {
 			t.Fatalf("boundary %d: %d ledger faults after restore", i, f)
 		}
-		if _, used := r1.chip.Usage(); used > tiles+1e-6 {
+		if _, used := r1.fleet.Chip(0).Usage(); used > tiles+1e-6 {
 			t.Fatalf("boundary %d: ledger overcommitted: %g > %d tiles", i, used, tiles)
+		}
+	}
+}
+
+// The federation durability contract: crash-inject a two-die fleet at
+// every journal commit boundary of a run that saturates one die and
+// migrates tenants off it, so opChipScale and opMigrate commits land
+// among the imaged boundaries. Every image — including those cut
+// mid-migration — must restore byte-identically (two restores of the
+// same image agree tick for tick), with zero ledger faults on either
+// die and neither die's tile ledger overcommitted.
+func TestFederationCrashAtEveryCommitBoundary(t *testing.T) {
+	const tiles = 48
+	base := Config{
+		Cores: tiles, Accel: 0.5, Period: time.Hour, Oversubscribe: true,
+		Shards: 4, TickWorkers: 1,
+		Chip: &ChipConfig{Chips: 2, MemBandwidthBps: 12e9},
+	}
+	fs := journal.NewMemFS()
+	cfg := journalOnly(base, fs)
+	var images []*journal.MemFS
+	cfg.journalBeforeSync = func([]byte) { images = append(images, fs.Crash(0)) }
+	d, err := NewDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const apps = 6
+	for i := 0; i < apps; i++ {
+		if err := d.Enroll(EnrollRequest{Name: fmt.Sprintf("fed-%02d", i),
+			Workload: "ocean", Window: 22, MinRate: 22, MaxRate: 40}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warmup: let the controllers ramp onto multi-core allocations and
+	// the placer spread demand; flush sparsely so replay cost per image
+	// stays sane while still imaging real tick-batch boundaries.
+	for tick := 0; tick < 60; tick++ {
+		d.Tick()
+		if tick%6 == 5 {
+			if err := d.jd.w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Collapse die 0's memory bandwidth: the following ticks must walk
+	// tenants off it, committing the migration records under test.
+	if err := d.SaturateChip(0, 0.35); err != nil {
+		t.Fatal(err)
+	}
+	for tick := 0; tick < 12; tick++ {
+		d.Tick()
+		if err := d.jd.w.Flush(); err != nil { // tick records cross a boundary
+			t.Fatal(err)
+		}
+	}
+	if d.Migrations() == 0 {
+		t.Fatal("saturating die 0 produced no migrations; the boundaries exercise nothing new")
+	}
+	if len(images) < apps+12 {
+		t.Fatalf("only %d commit boundaries imaged", len(images))
+	}
+
+	rcfg := journalOnly(base, nil)
+	restoreFrom := func(img *journal.MemFS) *Daemon {
+		t.Helper()
+		c := rcfg
+		c.FS = img.Crash(0) // private copy: restores must not share state
+		r, err := NewDaemon(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	for i, img := range images {
+		r1 := restoreFrom(img)
+		r2 := restoreFrom(img)
+		var first, second [][]AppStatus
+		for tick := 0; tick < 2; tick++ {
+			r1.Tick()
+			r2.Tick()
+			first = append(first, r1.List())
+			second = append(second, r2.List())
+		}
+		diffTranscripts(t, fmt.Sprintf("boundary %d double restore", i), first, second)
+		if f := r1.fleet.LedgerFaults(); f != 0 {
+			t.Fatalf("boundary %d: %d ledger faults after restore", i, f)
+		}
+		for die := 0; die < r1.fleet.Chips(); die++ {
+			if _, used := r1.fleet.Chip(die).Usage(); used > tiles+1e-6 {
+				t.Fatalf("boundary %d die %d: overcommitted: %g > %d tiles", i, die, used, tiles)
+			}
 		}
 	}
 }
@@ -378,26 +469,26 @@ func TestSnapshotRestoreExact(t *testing.T) {
 		if lg.MinRate != rg.MinRate || lg.MaxRate != rg.MaxRate {
 			t.Fatalf("%s: goal (%g,%g) restored as (%g,%g)", ra.name, lg.MinRate, lg.MaxRate, rg.MinRate, rg.MaxRate)
 		}
-		if la.part.Config() != ra.part.Config() {
-			t.Fatalf("%s: chip config %+v restored as %+v", ra.name, la.part.Config(), ra.part.Config())
+		if la.partition().Config() != ra.partition().Config() {
+			t.Fatalf("%s: chip config %+v restored as %+v", ra.name, la.partition().Config(), ra.partition().Config())
 		}
-		if la.part.Share() != ra.part.Share() {
-			t.Fatalf("%s: time share %g restored as %g", ra.name, la.part.Share(), ra.part.Share())
+		if la.partition().Share() != ra.partition().Share() {
+			t.Fatalf("%s: time share %g restored as %g", ra.name, la.partition().Share(), ra.partition().Share())
 		}
 	}
-	lp, lu := d.chip.Usage()
-	rp, ru := r.chip.Usage()
+	lp, lu := d.fleet.Chip(0).Usage()
+	rp, ru := r.fleet.Chip(0).Usage()
 	if lp != rp || lu != ru {
 		t.Fatalf("ledger drifted: live %d partitions/%g tiles, restored %d/%g", lp, lu, rp, ru)
 	}
-	if f := r.chip.LedgerFaults(); f != 0 {
+	if f := r.fleet.Chip(0).LedgerFaults(); f != 0 {
 		t.Fatalf("%d ledger faults after snapshot restore", f)
 	}
 	// And the restored daemon keeps serving cleanly.
 	for tick := 0; tick < 3; tick++ {
 		r.Tick()
 	}
-	if f := r.chip.LedgerFaults(); f != 0 {
+	if f := r.fleet.Chip(0).LedgerFaults(); f != 0 {
 		t.Fatalf("%d ledger faults after post-restore ticks", f)
 	}
 }

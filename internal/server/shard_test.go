@@ -149,10 +149,10 @@ func TestShardedDirectoryChurnRace(t *testing.T) {
 	rwg.Wait()
 	d.Stop()
 
-	if f := d.chip.LedgerFaults(); f != 0 {
+	if f := d.fleet.Chip(0).LedgerFaults(); f != 0 {
 		t.Fatalf("%d ledger faults after churn", f)
 	}
-	parts, used := d.chip.Usage()
+	parts, used := d.fleet.Chip(0).Usage()
 	if parts != 0 || used > 1e-6 {
 		t.Fatalf("ledger not empty after full churn: %d partitions, %g core-equivalents", parts, used)
 	}
@@ -178,23 +178,23 @@ func TestMakeRoomChurnInvariants(t *testing.T) {
 	}
 	check := func(op string) {
 		t.Helper()
-		if f := d.chip.LedgerFaults(); f != 0 {
+		if f := d.fleet.Chip(0).LedgerFaults(); f != 0 {
 			t.Fatalf("%s: %d ledger faults", op, f)
 		}
-		_, used := d.chip.Usage()
+		_, used := d.fleet.Chip(0).Usage()
 		if used > tiles+1e-6 {
 			t.Fatalf("%s: ledger %g exceeds %d tiles", op, used, tiles)
 		}
 		sum := 0.0
 		for _, a := range d.dir.snapshot(nil) {
-			if a.part == nil {
+			if a.partition() == nil {
 				continue
 			}
-			share := a.part.Share()
+			share := a.partition().Share()
 			if share < minChipShare-1e-9 {
 				t.Fatalf("%s: %s share %g below floor %g", op, a.name, share, minChipShare)
 			}
-			sum += float64(a.part.Config().Cores) * share
+			sum += float64(a.partition().Config().Cores) * share
 		}
 		if diff := used - sum; diff > 1e-6 || diff < -1e-6 {
 			t.Fatalf("%s: ledger %g != survivors %g", op, used, sum)

@@ -119,7 +119,7 @@ func TestGoalThrashRaceAtScale(t *testing.T) {
 	<-done
 	d.Tick() // one quiet tick past the storm
 
-	if f := d.chip.LedgerFaults(); f != 0 {
+	if f := d.fleet.Chip(0).LedgerFaults(); f != 0 {
 		t.Fatalf("%d ledger faults after goal thrash", f)
 	}
 	if err := d.jd.w.Flush(); err != nil {
@@ -172,7 +172,7 @@ func TestGoalThrashRaceAtScale(t *testing.T) {
 		second = append(second, r2.List())
 	}
 	diffTranscripts(t, "goal-thrash double restore", first, second)
-	if f := r1.chip.LedgerFaults(); f != 0 {
+	if f := r1.fleet.Chip(0).LedgerFaults(); f != 0 {
 		t.Fatalf("%d ledger faults after restore", f)
 	}
 }
