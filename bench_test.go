@@ -8,8 +8,10 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -432,6 +434,113 @@ func BenchmarkDaemonHTTPBeats(b *testing.B) {
 			b.Fatalf("status %d", resp.StatusCode)
 		}
 	}
+}
+
+// BenchmarkBeatIngestWire measures the binary beat wire path end to
+// end over a real TCP connection: 100-beat frames streamed unack'd,
+// decoded by the server into the monitor ring through the same ingest
+// helpers as the JSON path. Gated against BenchmarkDaemonHTTPBeats
+// (the acceptance bar is ≥5x its beats/s) and at ~0 allocs/op — both
+// sides of the warm path run on reused buffers.
+func BenchmarkBeatIngestWire(b *testing.B) {
+	d := newBenchDaemon(b, 8)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := server.NewWireServer(d, ln)
+	go ws.Serve()
+	defer ws.Close()
+	wc, err := server.DialWire(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer wc.Close()
+	h, err := wc.Hello("app-0000")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 100
+	// Warm the reusable buffers on both ends before the timed region.
+	if err := wc.Beats(h, batch, 0); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := wc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wc.Beats(h, batch, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// The flush barrier inside the timed region makes the metric honest:
+	// every streamed beat has been decoded and counted by the server.
+	total, err := wc.Flush()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if want := uint64(batch) * uint64(b.N+1); total != want {
+		b.Fatalf("flush ack %d, want %d", total, want)
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "beats/s")
+}
+
+// BenchmarkBeatIngestWireParallel is the multi-core variant: one
+// connection and one target app per worker, so ingestion throughput
+// must scale with cores — distinct apps land on distinct monitor locks
+// and (mostly) distinct shard counters.
+func BenchmarkBeatIngestWireParallel(b *testing.B) {
+	d := newBenchDaemon(b, 64)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := server.NewWireServer(d, ln)
+	go ws.Serve()
+	defer ws.Close()
+	nw := runtime.GOMAXPROCS(0)
+	clients := make([]*server.WireClient, nw)
+	handles := make([]uint32, nw)
+	for i := range clients {
+		wc, err := server.DialWire(ln.Addr().String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer wc.Close()
+		h, err := wc.Hello(fmt.Sprintf("app-%04d", i%64))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := wc.Beats(h, 100, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wc.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		clients[i], handles[i] = wc, h
+	}
+	const batch = 100
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)-1) % nw
+		wc, h := clients[i], handles[i]
+		for pb.Next() {
+			if err := wc.Beats(h, batch, 0); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+		if _, err := wc.Flush(); err != nil {
+			b.Error(err)
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "beats/s")
 }
 
 // BenchmarkDaemonTick1000 measures one ODA decision period over 1000

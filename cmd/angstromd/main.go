@@ -35,6 +35,15 @@
 //
 //	angstromd -data-dir /var/lib/angstromd -beat-timeout 30s
 //
+// With -beat-listen, the daemon additionally serves the binary beat
+// wire protocol on a second TCP listener: length-prefixed CRC-framed
+// batch frames (the journal's frame shape) multiplexed over persistent
+// connections, for clients whose beat rate outruns HTTP/JSON. Control
+// plane (enroll, goals, withdraw) stays on the JSON API; the wire path
+// carries only beats. See docs/API.md "Binary beat wire protocol".
+//
+//	angstromd -addr :8090 -beat-listen :8091
+//
 // Endpoints (see docs/API.md and internal/server):
 //
 //	GET    /healthz
@@ -55,6 +64,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -85,6 +95,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "journal + snapshot directory for a durable control plane (empty = volatile)")
 	snapEvery := flag.Duration("snapshot-interval", 0, "snapshot compaction interval (0 = 30s default, negative = journal-only)")
 	beatTimeout := flag.Duration("beat-timeout", 0, "evict advisory apps silent for this many daemon-clock seconds (0 = never)")
+	beatListen := flag.String("beat-listen", "", "listen address for the binary beat wire protocol (empty = JSON only)")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -131,6 +142,21 @@ func main() {
 	}
 	d.Start()
 
+	var ws *server.WireServer
+	if *beatListen != "" {
+		ln, err := net.Listen("tcp", *beatListen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws = server.NewWireServer(d, ln)
+		go func() {
+			if err := ws.Serve(); err != nil {
+				log.Printf("angstromd: wire: %v", err)
+			}
+		}()
+		log.Printf("angstromd: binary beat wire protocol on %s", ln.Addr())
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           d.Handler(),
@@ -159,8 +185,15 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
-	// Drain: the HTTP server has stopped accepting; finish the in-flight
-	// tick, flush a final snapshot, and close the journal cleanly.
+	// Drain: the HTTP server has stopped accepting. Close the wire
+	// listener first so every connection's pending counter deltas land in
+	// the daemon before the final tick and snapshot, then finish the
+	// in-flight tick, flush a final snapshot, and close the journal.
+	if ws != nil {
+		if err := ws.Close(); err != nil {
+			log.Printf("angstromd: wire close: %v", err)
+		}
+	}
 	if err := d.Close(); err != nil {
 		log.Printf("angstromd: drain: %v", err)
 	}

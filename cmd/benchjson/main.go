@@ -104,7 +104,7 @@ func parse(r io.Reader) (Snapshot, error) {
 // simulator hot paths whose trajectories PRs must not regress (see
 // BENCHMARKS.md). Subbenchmark names include the parent, e.g.
 // DetailedAccess/directory.
-const defaultGates = `^(PartitionSense$|DetailedAccess/|DaemonBeat$|DaemonChipTick|DaemonTick10k$|DaemonTick10kJournaled$|DaemonTickFederated$|Placement$|JournalAppend$|Recovery10k$|MonitorBeatWindow4096$|ChipEvaluate$|ScenarioFlashCrowd$)`
+const defaultGates = `^(PartitionSense$|DetailedAccess/|DaemonBeat$|DaemonChipTick|DaemonTick10k$|DaemonTick10kJournaled$|DaemonTickFederated$|Placement$|JournalAppend$|Recovery10k$|MonitorBeatWindow4096$|ChipEvaluate$|ScenarioFlashCrowd$|BeatIngestWire$|BeatIngestWireParallel$)`
 
 // regression is one gated benchmark that got worse.
 type regression struct {

@@ -14,6 +14,15 @@
 //
 //	go run ./examples/loadgen -apps 10000 -rate 5 -batch 25 -duration 30s
 //
+// With -wire, beats travel over the binary beat wire protocol instead
+// of HTTP/JSON: streams share a small pool of persistent connections
+// (-wire-conns, default GOMAXPROCS), each app handshakes a conn-local
+// handle, and batches go out as unacknowledged CRC-framed wire frames
+// with periodic flush barriers. Enrollment and decision reads stay on
+// the JSON API. This is the path for beat rates that outrun JSON:
+//
+//	go run ./examples/loadgen -apps 1000 -rate 1000 -batch 100 -wire
+//
 // Requests retry with capped exponential backoff + jitter, so the
 // fleet rides through a daemon restart instead of counting errors.
 // With -restart-after the spawned daemon demonstrates it: mid-run it
@@ -35,11 +44,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"angstrom/internal/heartbeat"
 	"angstrom/internal/server"
 )
 
@@ -59,9 +70,22 @@ func main() {
 	retries := flag.Int("retries", 5, "max retries per request on transient errors (backoff + jitter)")
 	dataDir := flag.String("data-dir", "", "data directory of the spawned daemon (empty = volatile, or temp with -restart-after)")
 	restartAfter := flag.Duration("restart-after", 0, "restart the spawned daemon after this long (restore from -data-dir)")
+	wire := flag.Bool("wire", false, "stream beats over the binary wire protocol (enrollment stays JSON)")
+	wireAddr := flag.String("wire-addr", "", "wire listener address (spawned daemon: auto; required with -addr and -wire)")
+	wireConns := flag.Int("wire-conns", 0, "wire connections shared by the fleet (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	if *wire && *restartAfter > 0 {
+		// Wire connections fail-fast and do not reconnect; the restart
+		// demo is a JSON-path feature.
+		log.Fatal("-wire and -restart-after are mutually exclusive")
+	}
+	if *wire && *addr != "" && *wireAddr == "" {
+		log.Fatal("-wire against an external -addr needs -wire-addr")
+	}
+
 	base := *addr
+	wireTarget := *wireAddr
 	if base == "" {
 		if *restartAfter > 0 && *dataDir == "" {
 			tmp, err := os.MkdirTemp("", "loadgen-journal-")
@@ -102,6 +126,22 @@ func main() {
 		base = "http://" + ln.Addr().String()
 		log.Printf("spawned angstromd on %s (cores=%d period=%s data-dir=%q)", base, *cores, *period, *dataDir)
 
+		if *wire {
+			wln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			ws := server.NewWireServer(d, wln)
+			go func() {
+				if err := ws.Serve(); err != nil {
+					log.Print(err)
+				}
+			}()
+			defer ws.Close()
+			wireTarget = wln.Addr().String()
+			log.Printf("binary beat wire protocol on %s", wireTarget)
+		}
+
 		if *restartAfter > 0 {
 			// Mid-run restart: drain the daemon (final snapshot), drop the
 			// listener, and bring up a fresh daemon restored from the data
@@ -129,18 +169,50 @@ func main() {
 		Timeout: 10 * time.Second,
 	}
 
+	// One pool of persistent wire connections shared by the whole fleet;
+	// each app handshakes its own handle on its assigned connection.
+	var wcs []*server.WireClient
+	if *wire {
+		nc := *wireConns
+		if nc <= 0 {
+			nc = runtime.GOMAXPROCS(0)
+		}
+		wcs = make([]*server.WireClient, nc)
+		for i := range wcs {
+			wc, err := server.DialWire(wireTarget)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer wc.Close()
+			wcs[i] = wc
+		}
+		log.Printf("dialed %d wire connections", nc)
+	}
+
+	// ingested mirrors the daemon's own counter discipline: workers
+	// accumulate into goroutine-local deltas and publish to this shared
+	// counter at a threshold, instead of bouncing one hot atomic (or a
+	// per-request accumulation race) across every stream on every batch.
 	var (
-		beats    atomic.Uint64
+		ingested heartbeat.Counter
 		requests atomic.Uint64
+		frames   atomic.Uint64
 		errs     atomic.Uint64
 		retried  atomic.Uint64
 		latMu    sync.Mutex
 		lats     []time.Duration
 	)
+	// stream is one worker's private accumulation state: a counter delta
+	// plus 1-in-8 sampled request latencies, merged once at stream end.
+	type stream struct {
+		del  heartbeat.Delta
+		lats []time.Duration
+		reqs uint64
+	}
 	// post retries transport errors and 5xx responses (a restarting or
 	// journal-degraded daemon) with capped exponential backoff plus full
 	// jitter; 4xx client errors fail immediately.
-	post := func(path string, body any) error {
+	post := func(s *stream, path string, body any) error {
 		buf, err := json.Marshal(body)
 		if err != nil {
 			return err
@@ -152,9 +224,10 @@ func main() {
 			resp, err := client.Post(base+path, "application/json", bytes.NewReader(buf))
 			if err == nil {
 				resp.Body.Close()
-				latMu.Lock()
-				lats = append(lats, time.Since(t0))
-				latMu.Unlock()
+				if s.reqs%8 == 0 {
+					s.lats = append(s.lats, time.Since(t0))
+				}
+				s.reqs++
 				requests.Add(1)
 				if resp.StatusCode < 300 {
 					return nil
@@ -175,6 +248,28 @@ func main() {
 		}
 	}
 
+	// In wire mode a background flusher per connection publishes pending
+	// counter deltas and keeps the server's totals fresh between the
+	// unacknowledged beat frames.
+	stopFlush := make(chan struct{})
+	var flushWG sync.WaitGroup
+	for _, wc := range wcs {
+		flushWG.Add(1)
+		go func(c *server.WireClient) {
+			defer flushWG.Done()
+			t := time.NewTicker(100 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopFlush:
+					return
+				case <-t.C:
+					_, _ = c.Flush()
+				}
+			}
+		}(wc)
+	}
+
 	log.Printf("enrolling %d applications...", *apps)
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
@@ -184,6 +279,15 @@ func main() {
 		// instead of shadowing it with a parameter.
 		go func() {
 			defer wg.Done()
+			s := &stream{del: heartbeat.Delta{C: &ingested}}
+			defer func() {
+				s.del.Flush()
+				if len(s.lats) > 0 {
+					latMu.Lock()
+					lats = append(lats, s.lats...)
+					latMu.Unlock()
+				}
+			}()
 			name := fmt.Sprintf("app-%04d", i)
 			goal := *rate
 			// No window inflation: the daemon spreads each batch's
@@ -197,25 +301,60 @@ func main() {
 				MinRate:  goal * 0.9,
 				MaxRate:  goal * 1.1,
 			}
-			if err := post("/v1/apps", req); err != nil {
+			if err := post(s, "/v1/apps", req); err != nil {
 				errs.Add(1)
 				return
+			}
+			var wc *server.WireClient
+			var handle uint32
+			if *wire {
+				wc = wcs[i%len(wcs)]
+				h, err := wc.Hello(name)
+				if err != nil {
+					errs.Add(1)
+					return
+				}
+				handle = h
 			}
 			// Desynchronize the fleet, then beat in batches until the
 			// deadline.
 			interval := time.Duration(float64(*batch) / *rate * float64(time.Second))
 			time.Sleep(time.Duration(rand.Int63n(int64(interval) + 1)))
 			for time.Now().Before(deadline) {
-				if err := post("/v1/apps/"+name+"/beats", server.BeatRequest{Count: *batch}); err != nil {
+				if wc != nil {
+					if err := wc.Beats(handle, *batch, 0); err != nil {
+						// Wire errors are fail-fast: the connection is
+						// poisoned for every stream sharing it, so stop
+						// rather than hammer a dead conn.
+						errs.Add(1)
+						return
+					}
+					frames.Add(1)
+					s.del.Add(uint64(*batch))
+				} else if err := post(s, "/v1/apps/"+name+"/beats", server.BeatRequest{Count: *batch}); err != nil {
 					errs.Add(1)
 				} else {
-					beats.Add(uint64(*batch))
+					s.del.Add(uint64(*batch))
 				}
 				time.Sleep(interval)
 			}
 		}()
 	}
 	wg.Wait()
+
+	// Final flush barriers: every unacknowledged wire frame is decoded
+	// and counted by the server before we read the fleet state back.
+	close(stopFlush)
+	flushWG.Wait()
+	var serverAcked uint64
+	for _, wc := range wcs {
+		total, err := wc.Flush()
+		if err != nil {
+			log.Printf("WARNING: final wire flush: %v", err)
+			continue
+		}
+		serverAcked += total
+	}
 
 	// Read the fleet's end state back through the API.
 	var stats server.StatsResponse
@@ -251,10 +390,15 @@ func main() {
 	latMu.Unlock()
 
 	elapsed := duration.Seconds()
+	beats := ingested.Load()
 	fmt.Printf("\n=== loadgen: %d apps for %s against %s ===\n", *apps, duration, base)
 	fmt.Printf("ingested   %d beats (%.0f beats/s), %d requests (%.0f req/s), %d errors, %d retries\n",
-		beats.Load(), float64(beats.Load())/elapsed,
+		beats, float64(beats)/elapsed,
 		requests.Load(), float64(requests.Load())/elapsed, errs.Load(), retried.Load())
+	if *wire {
+		fmt.Printf("wire       %d frames over %d conns, %d beats server-acked\n",
+			frames.Load(), len(wcs), serverAcked)
+	}
 	fmt.Printf("latency    p50 %s  p99 %s  max %s\n", p50, p99, max)
 	fmt.Printf("oda loop   %d ticks, %d decisions (%.0f decisions/s)\n",
 		stats.Ticks, stats.Decisions, float64(stats.Decisions)/elapsed)
@@ -264,6 +408,9 @@ func main() {
 	}
 	fmt.Printf("fleet      %d enrolled (%d shards), %d with decisions, %d meeting their goal band (%.1f%%)\n",
 		stats.Apps, stats.Shards, decided, met, inBand)
+	if *wire && serverAcked != beats {
+		log.Printf("WARNING: server acked %d beats, client sent %d", serverAcked, beats)
+	}
 	if errs.Load() > 0 {
 		log.Printf("WARNING: %d request errors", errs.Load())
 	}

@@ -131,6 +131,62 @@ func (m *Monitor) emit(tag uint64, distortion float64) {
 func (m *Monitor) emitAt(now sim.Time, tag uint64, distortion float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.emitLocked(now, tag, distortion)
+}
+
+// BeatBatchSpreadAt ingests a server-spread batch under one lock
+// acquisition: count beats spread evenly across the interval since the
+// monitor's previous beat, the final one landing at now carrying
+// distortion. With no prior beat, a single-beat batch, or a paused
+// clock (accelerated daemons between ticks) every beat lands at now.
+// The placement is byte-identical to count sequential BeatAt calls
+// computed against the same last-beat time — the batched form just
+// stops a large batch from bouncing the mutex per beat, and reads the
+// spread reference under the same lock so concurrent writers to one
+// monitor cannot interleave mid-batch.
+//
+//angstrom:hotpath
+func (m *Monitor) BeatBatchSpreadAt(now sim.Time, count int, distortion float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var last sim.Time
+	if m.count > 0 {
+		last = m.last().Time
+	}
+	if count == 1 || last <= 0 || now <= last {
+		for i := 0; i < count-1; i++ {
+			m.emitLocked(now, 0, 0)
+		}
+	} else {
+		step := (now - last) / float64(count)
+		for i := 1; i < count; i++ {
+			m.emitLocked(last+step*float64(i), 0, 0)
+		}
+	}
+	m.emitLocked(now, 0, distortion)
+}
+
+// BeatBatchShiftedAt ingests a client-timestamped batch under one lock
+// acquisition: every ts[i]+shift in order, then one final beat exactly
+// at now carrying distortion. The final beat takes now directly rather
+// than lastTS+shift because the two differ in float arithmetic, and
+// the daemon's clock-skew contract is that a shifted batch's last beat
+// lands exactly on the server clock.
+//
+//angstrom:hotpath
+func (m *Monitor) BeatBatchShiftedAt(ts []sim.Time, shift, now sim.Time, distortion float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range ts {
+		m.emitLocked(t+shift, 0, 0)
+	}
+	m.emitLocked(now, 0, distortion)
+}
+
+// emitLocked inserts one record; caller holds m.mu.
+//
+//angstrom:hotpath
+func (m *Monitor) emitLocked(now sim.Time, tag uint64, distortion float64) {
 	if m.count > 0 {
 		if last := m.last().Time; now < last {
 			now = last

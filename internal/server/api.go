@@ -183,7 +183,15 @@ type StatsResponse struct {
 	// Migrations counts inter-die partition moves the fleet has applied.
 	Migrations uint64 `json:"migrations,omitempty"`
 	// Evicted counts stale applications withdrawn by -beat-timeout.
-	Evicted      uint64  `json:"evicted,omitempty"`
+	Evicted uint64 `json:"evicted,omitempty"`
+	// WireConns is the live binary beat-protocol connection count and
+	// WireFrames the accepted wire batch frames (absent when no client
+	// has used -beat-listen). Wire connections publish their beat
+	// totals through per-connection deltas, so Beats may trail the
+	// wire's ground truth by up to one flush threshold per connection
+	// until clients issue a flush barrier.
+	WireConns  int    `json:"wire_conns,omitempty"`
+	WireFrames uint64 `json:"wire_frames,omitempty"`
 	ClockSeconds float64 `json:"clock_seconds"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	PeriodSeconds float64 `json:"period_seconds"`

@@ -169,6 +169,10 @@ type app struct {
 	// 1); persisted by snapshots so a restore re-weights the manager.
 	prio   float64
 	mgrID  int // the Manager's stable handle; indexes the tick's alloc table
+	// shard is the directory shard the name hashes to, stamped by
+	// insert so the ingestion path bumps the shard beat counter without
+	// rehashing the name per batch.
+	shard  int
 	spec   workload.Spec
 	mon    *heartbeat.Monitor
 	rt     *core.Runtime // stepped only by the owning tick worker
@@ -299,8 +303,18 @@ type Daemon struct {
 	// withdraw deterministically mid-tick.
 	testHookAfterSnapshot func()
 
-	ticks      atomic.Uint64
-	beats      atomic.Uint64
+	ticks atomic.Uint64
+	// beats is the fleet-wide ingested-beat total. It sits on its own
+	// cache line (heartbeat.Counter) because every ingesting connection
+	// adds to it: JSON handlers add per request, binary wire connections
+	// buffer writer-private deltas (heartbeat.Delta) and publish at
+	// flush barriers, so the line is contended at flush rate rather than
+	// beat rate.
+	beats heartbeat.Counter
+	// wireConns gauges live binary-protocol connections; wireFrames
+	// counts accepted wire batch frames (delta-published per conn).
+	wireConns  atomic.Int64
+	wireFrames heartbeat.Counter
 	decisions  atomic.Uint64
 	evicted    atomic.Uint64 // stale apps withdrawn by BeatTimeout
 	migrations atomic.Uint64 // apps moved between chips by maybeMigrate
@@ -730,49 +744,69 @@ func (d *Daemon) lookup(name string) (*app, bool) { return d.dir.get(name) }
 // monitor ahead of the partition's execution frontier and corrupt the
 // controller's signal.
 func (d *Daemon) Beat(name string, count int, distortion float64) error {
-	if count < 1 || count > MaxBeatBatch {
-		return fmt.Errorf("server: beat count %d outside [1, %d]", count, MaxBeatBatch)
-	}
-	if err := validDistortion(distortion); err != nil {
+	a, err := d.beatTarget(name, count, distortion)
+	if err != nil {
 		return err
 	}
-	a, ok := d.lookup(name)
-	if !ok {
-		return fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
-	}
-	if a.partition() != nil {
-		return fmt.Errorf("server: %q is chip-backed; its beats are chip-emitted", name)
-	}
-	now := d.clock.Now()
-	if d.jd != nil {
-		d.journalAppend(record{Op: opBeat, T: now, Name: name, Count: count, Distortion: distortion})
-	}
-	last := a.mon.LastTime()
-	if count == 1 || last <= 0 || now <= last {
-		// No interval to spread across: single beat, first-ever batch,
-		// or a paused clock (accelerated daemons between ticks).
-		for i := 0; i < count-1; i++ {
-			a.mon.BeatAt(now)
-		}
-		d.finishBatch(a, now, distortion)
-	} else {
-		step := (now - last) / float64(count)
-		for i := 1; i < count; i++ {
-			a.mon.BeatAt(last + step*float64(i))
-		}
-		d.finishBatch(a, now, distortion)
-	}
+	d.ingestSpread(a, count, distortion)
 	d.beats.Add(uint64(count))
 	return nil
 }
 
-// finishBatch emits a batch's final beat at t with its distortion.
-func (d *Daemon) finishBatch(a *app, t sim.Time, distortion float64) {
-	if distortion != 0 {
-		a.mon.BeatWithAccuracyAt(t, distortion)
-	} else {
-		a.mon.BeatAt(t)
+// beatTarget validates a beat batch's shape and resolves its target
+// application. It is shared by the JSON handlers and the binary wire
+// decoder so the two transports enforce identical admission rules —
+// the first link in the chain that makes them equivalent by
+// construction (wire_equiv_test locks the whole chain in end to end).
+func (d *Daemon) beatTarget(name string, count int, distortion float64) (*app, error) {
+	if count < 1 || count > MaxBeatBatch {
+		return nil, fmt.Errorf("server: beat count %d outside [1, %d]", count, MaxBeatBatch)
 	}
+	if err := validDistortion(distortion); err != nil {
+		return nil, err
+	}
+	a, ok := d.lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
+	}
+	if a.partition() != nil {
+		return nil, fmt.Errorf("server: %q is chip-backed; its beats are chip-emitted", name)
+	}
+	return a, nil
+}
+
+// ingestSpread journals and applies a validated server-spread batch:
+// count beats spread across the interval since the app's previous
+// beat, the last carrying distortion (one lock acquisition on the
+// monitor, one atomic add on the app's shard counter). Both ingestion
+// transports funnel here; only the fleet-wide beats total is left to
+// the caller, because the wire path publishes it through per-connection
+// deltas instead of per batch.
+func (d *Daemon) ingestSpread(a *app, count int, distortion float64) {
+	now := d.clock.Now()
+	if d.jd != nil {
+		d.journalAppend(record{Op: opBeat, T: now, Name: a.name, Count: count, Distortion: distortion})
+	}
+	a.mon.BeatBatchSpreadAt(now, count, distortion)
+	d.dir.shards[a.shard].ingested.Add(uint64(count))
+}
+
+// ingestShifted journals and applies a validated client-timestamped
+// batch, shifted so its final beat lands at the daemon's current time.
+// ts must be finite and non-decreasing (the JSON handler validates, the
+// wire decoder guarantees it by construction); it may alias a reusable
+// buffer — the journal record is encoded and the monitor copies the
+// values before ingestShifted returns.
+func (d *Daemon) ingestShifted(a *app, ts []float64, distortion float64) {
+	now := d.clock.Now()
+	if d.jd != nil {
+		// The raw client timestamps are journaled: replay recomputes the
+		// same shift from the same `now` (the record's T).
+		d.journalAppend(record{Op: opBeatTS, T: now, Name: a.name, Timestamps: ts, Distortion: distortion})
+	}
+	shift := now - ts[len(ts)-1]
+	a.mon.BeatBatchShiftedAt(ts[:len(ts)-1], shift, now, distortion)
+	d.dir.shards[a.shard].ingested.Add(uint64(len(ts)))
 }
 
 // BeatTimestamps ingests a batch whose per-beat timestamps the client
@@ -799,24 +833,11 @@ func (d *Daemon) BeatTimestamps(name string, ts []float64, distortion float64) e
 			return fmt.Errorf("server: timestamps decrease at index %d (%g after %g)", i, t, ts[i-1])
 		}
 	}
-	a, ok := d.lookup(name)
-	if !ok {
-		return fmt.Errorf("server: %q %w", name, ErrNotEnrolled)
+	a, err := d.beatTarget(name, len(ts), distortion)
+	if err != nil {
+		return err
 	}
-	if a.partition() != nil {
-		return fmt.Errorf("server: %q is chip-backed; its beats are chip-emitted", name)
-	}
-	now := d.clock.Now()
-	if d.jd != nil {
-		// The raw client timestamps are journaled: replay recomputes the
-		// same shift from the same `now` (the record's T).
-		d.journalAppend(record{Op: opBeatTS, T: now, Name: name, Timestamps: ts, Distortion: distortion})
-	}
-	shift := now - ts[len(ts)-1]
-	for _, t := range ts[:len(ts)-1] {
-		a.mon.BeatAt(t + shift)
-	}
-	d.finishBatch(a, now, distortion)
+	d.ingestShifted(a, ts, distortion)
 	d.beats.Add(uint64(len(ts)))
 	return nil
 }
@@ -1344,6 +1365,16 @@ func (d *Daemon) chipStatusAt(i int) ChipStatusResponse {
 	}
 }
 
+// ShardBeats reports each directory shard's client-ingested beat count
+// (JSON and binary wire alike; chip-emitted beats are not client
+// ingestion). Under concurrent ingestion each entry is an independent
+// atomic load; once writers have flushed their deltas and stopped,
+// the slice sums exactly to Stats().Beats — the reconciliation the
+// churn race test enforces against per-beat ground truth.
+func (d *Daemon) ShardBeats() []uint64 {
+	return d.dir.ingestTotals(make([]uint64, 0, len(d.dir.shards)))
+}
+
 // Stats reports daemon-wide counters.
 func (d *Daemon) Stats() StatsResponse {
 	st := StatsResponse{
@@ -1356,6 +1387,8 @@ func (d *Daemon) Stats() StatsResponse {
 		Beats:            d.beats.Load(),
 		Decisions:        d.decisions.Load(),
 		Evicted:          d.evicted.Load(),
+		WireConns:        int(d.wireConns.Load()),
+		WireFrames:       d.wireFrames.Load(),
 		ClockSeconds:     d.clock.Now(),
 		UptimeSeconds:    time.Since(d.started).Seconds(),
 		PeriodSeconds:    d.cfg.Period.Seconds(),

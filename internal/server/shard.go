@@ -25,10 +25,17 @@ type dirShard struct {
 	mu   sync.Mutex
 	apps atomic.Pointer[map[string]*app]
 	list atomic.Pointer[[]*app]
+	// ingested counts client-ingested beats (JSON and binary wire alike)
+	// for apps homed on this shard. Sharding the hot beat total is the
+	// other half of the delta-then-atomic-add pattern: distinct apps
+	// hash to distinct shards, so parallel writers add to distinct cache
+	// lines. The churn race test reconciles sum(shards) against per-beat
+	// ground truth.
+	ingested atomic.Uint64
 	// Pad the struct to a full 64-byte cache line (8 mutex + 16
-	// pointers + 40) so write-heavy churn on one shard does not
-	// false-share a line with its neighbors' read pointers.
-	_ [40]byte
+	// pointers + 8 counter + 32) so write-heavy churn on one shard does
+	// not false-share a line with its neighbors' read pointers.
+	_ [32]byte
 }
 
 // directory is the N-way sharded application index.
@@ -76,12 +83,21 @@ func newDirectory(n int) *directory {
 //
 //angstrom:hotpath
 func (d *directory) shardFor(name string) *dirShard {
+	return &d.shards[d.shardIndex(name)]
+}
+
+// shardIndex is shardFor returning the index instead of the shard:
+// insert stamps it into the app so the ingestion path can bump the
+// shard's beat counter without rehashing the name per batch.
+//
+//angstrom:hotpath
+func (d *directory) shardIndex(name string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(name); i++ {
 		h ^= uint64(name[i])
 		h *= 1099511628211
 	}
-	return &d.shards[h&d.mask]
+	return h & d.mask
 }
 
 // get is the lock-free read path: one hash, one atomic load, one map
@@ -99,7 +115,8 @@ func (d *directory) get(name string) (*app, bool) {
 //
 //angstrom:journaled mutator
 func (d *directory) insert(name string, a *app) bool {
-	s := d.shardFor(name)
+	a.shard = int(d.shardIndex(name))
+	s := &d.shards[a.shard]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := *s.apps.Load()
@@ -156,6 +173,18 @@ func (d *directory) remove(name string) (*app, bool) {
 
 // len reports the enrolled-application count.
 func (d *directory) len() int { return int(d.count.Load()) }
+
+// ingestTotals appends each shard's client-ingested beat count to buf.
+// The reads are independent atomic loads, so under concurrent ingestion
+// the slice is a near-point-in-time view; after writers flush their
+// deltas and stop, sum(ingestTotals) equals the daemon's beat total
+// exactly.
+func (d *directory) ingestTotals(buf []uint64) []uint64 {
+	for i := range d.shards {
+		buf = append(buf, d.shards[i].ingested.Load())
+	}
+	return buf
+}
 
 // snapshot appends every enrolled application to buf and returns it.
 // The result is a point-in-time view: apps withdrawn afterwards remain

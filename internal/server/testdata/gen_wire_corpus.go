@@ -1,0 +1,130 @@
+//go:build ignore
+
+// gen_wire_corpus regenerates the committed FuzzWireFrame seed corpus:
+//
+//	go run internal/server/testdata/gen_wire_corpus.go
+//
+// Each seed is a whole client→server byte stream (several frames, not
+// one) so the fuzzer starts from realistic sessions: handshakes, mixed
+// count/timestamp batches, flush barriers — plus one corruption of each
+// kind the decoder must reject (torn frame, bad CRC, hostile length,
+// oversized count, timestamp overflow, trailing junk). Opcode bytes are
+// spelled literally here; they are the protocol's wire contract
+// (internal/server/wire.go), not an implementation detail.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"angstrom/internal/journal"
+)
+
+const (
+	opHello   = 0x01
+	opBeats   = 0x02
+	opBeatsTS = 0x03
+	opFlush   = 0x04
+)
+
+func hello(name string) []byte {
+	p := []byte{opHello, 1}
+	p = binary.LittleEndian.AppendUint16(p, uint16(len(name)))
+	return append(p, name...)
+}
+
+func beats(handle, count uint32, distortion float64) []byte {
+	p := []byte{opBeats}
+	p = binary.LittleEndian.AppendUint32(p, handle)
+	p = binary.LittleEndian.AppendUint32(p, count)
+	return binary.LittleEndian.AppendUint64(p, bits(distortion))
+}
+
+func beatsTS(handle uint32, ns []uint64, distortion float64) []byte {
+	p := []byte{opBeatsTS}
+	p = binary.LittleEndian.AppendUint32(p, handle)
+	p = binary.LittleEndian.AppendUint32(p, uint32(len(ns)))
+	p = binary.LittleEndian.AppendUint64(p, bits(distortion))
+	prev := uint64(0)
+	for i, t := range ns {
+		if i == 0 {
+			p = binary.AppendUvarint(p, t)
+		} else {
+			p = binary.AppendUvarint(p, t-prev)
+		}
+		prev = t
+	}
+	return p
+}
+
+// bits avoids importing math for one call.
+func bits(f float64) uint64 {
+	if f == 0 {
+		return 0
+	}
+	if f == 0.5 {
+		return 0x3FE0000000000000
+	}
+	panic("unsupported distortion literal")
+}
+
+func frames(payloads ...[]byte) []byte {
+	var out []byte
+	for _, p := range payloads {
+		out = journal.AppendFrame(out, p)
+	}
+	return out
+}
+
+func main() {
+	seeds := map[string][]byte{
+		// Valid sessions: the app name matches the fuzz daemon's "fz".
+		"session-count": frames(hello("fz"), beats(0, 10, 0), beats(0, 1, 0.5), []byte{opFlush}),
+		"session-ts": frames(hello("fz"),
+			beatsTS(0, []uint64{1_000_000_000, 1_250_000_000, 1_500_000_000}, 0),
+			[]byte{opFlush}),
+		"session-mixed": frames(hello("fz"), beats(0, 3, 0),
+			beatsTS(0, []uint64{5_000_000_000, 5_100_000_000}, 0.5),
+			beats(0, 7, 0), []byte{opFlush}),
+		// Rejections the decoder must survive.
+		"torn-frame":      frames(hello("fz"), beats(0, 5, 0))[:20],
+		"bad-crc":         flipLastByte(frames(hello("fz"))),
+		"hostile-length":  {0xff, 0xff, 0xff, 0x7f, 1, 2, 3, 4},
+		"oversized-count": frames(hello("fz"), beats(0, 1_000_000, 0)),
+		"unknown-handle":  frames(beats(9, 1, 0)),
+		"ts-overflow":     frames(hello("fz"), tsOverflowPayload()),
+		"ts-trailing":     frames(hello("fz"), append(beatsTS(0, []uint64{1e9}, 0), 0xAB)),
+		"bad-version":     frames([]byte{opHello, 9, 2, 0, 'f', 'z'}),
+		"ghost-hello":     frames(hello("nobody-home")),
+	}
+	dir := filepath.Join("internal", "server", "testdata", "fuzz", "FuzzWireFrame")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	for name, stream := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", stream)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Printf("wrote %d seeds to %s\n", len(seeds), dir)
+}
+
+func flipLastByte(b []byte) []byte {
+	b[len(b)-1] ^= 0xff
+	return b
+}
+
+// tsOverflowPayload: a count=2 timestamped batch whose deltas sum past
+// uint64 nanoseconds.
+func tsOverflowPayload() []byte {
+	p := []byte{opBeatsTS}
+	p = binary.LittleEndian.AppendUint32(p, 0)
+	p = binary.LittleEndian.AppendUint32(p, 2)
+	p = binary.LittleEndian.AppendUint64(p, 0)
+	p = binary.AppendUvarint(p, 1<<63)
+	p = binary.AppendUvarint(p, 1<<63)
+	return p
+}
